@@ -1,0 +1,80 @@
+//! FaRM [Dragojević et al., NSDI '14] — one-sided RC writes into a
+//! polled message ring, reply by RC write (paper Fig. 2b).
+
+use prdma::{Request, Response, RpcClient, RpcFuture, ServerProfile};
+use prdma_node::{Cluster, Node};
+use prdma_rnic::{MemTarget, QpMode};
+
+use crate::common::{qp_pair, reply_by_write, request_image, request_parts, QpPair, ServerCtx};
+
+/// FaRM client endpoint.
+pub struct FarmClient {
+    ctx: ServerCtx,
+    qp: QpPair,
+    client_node: Node,
+}
+
+/// Build a FaRM connection.
+pub fn build_farm(
+    cluster: &Cluster,
+    client_idx: usize,
+    server_idx: usize,
+    lane: usize,
+    profile: ServerProfile,
+    object_slot: u64,
+    store_capacity: u64,
+) -> FarmClient {
+    FarmClient {
+        ctx: ServerCtx::new(
+            cluster,
+            server_idx,
+            lane,
+            profile,
+            object_slot,
+            store_capacity,
+        ),
+        qp: qp_pair(cluster, client_idx, server_idx, QpMode::Rc, QpMode::Rc),
+        client_node: cluster.node(client_idx).clone(),
+    }
+}
+
+impl FarmClient {
+    async fn roundtrip(&self, req: Request) -> prdma::RpcResult<Response> {
+        let (is_put, obj, len, count, data) = request_parts(&req);
+
+        // One-sided write into the server's message ring; the server's
+        // polling thread notices it once the DMA lands.
+        let tok = self
+            .qp
+            .fwd
+            .write(MemTarget::Dram(self.ctx.req_slot()), request_image(&req))
+            .await?;
+        tok.wait().await;
+        self.ctx.node.cpu.poll_dispatch().await;
+
+        let (payload, resp_len) = if is_put {
+            self.ctx.handle_put(obj, data.as_ref().expect("put")).await;
+            (None, 8)
+        } else {
+            let p = self.ctx.handle_get(obj, len, count).await;
+            let l = p.len();
+            (Some(p), l)
+        };
+
+        reply_by_write(&self.qp.rev, &self.client_node, resp_len).await?;
+        Ok(Response {
+            payload,
+            durable: true,
+        })
+    }
+}
+
+impl RpcClient for FarmClient {
+    fn call(&self, req: Request) -> RpcFuture<'_> {
+        Box::pin(self.roundtrip(req))
+    }
+
+    fn name(&self) -> &'static str {
+        "FaRM"
+    }
+}

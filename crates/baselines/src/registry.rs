@@ -1,0 +1,213 @@
+//! Uniform construction of every RPC system (the four durable RPCs plus
+//! the nine baselines), so experiment harnesses can sweep them.
+
+use prdma::{
+    build_durable, DurableConfig, DurableKind, FlushImpl, RpcClient, ServerProfile,
+};
+use prdma_node::Cluster;
+use prdma_simnet::SimDuration;
+
+use crate::darpc::build_darpc;
+use crate::farm::build_farm;
+use crate::fasst::build_fasst;
+use crate::herd::build_herd;
+use crate::l5::build_l5;
+use crate::octopus::{build_lite, build_octopus};
+use crate::rfp::build_rfp;
+use crate::scalerpc::build_scalerpc;
+
+/// Every RPC system in the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// L5 (RC write + poll).
+    L5,
+    /// RFP (write in, client fetches result by RDMA read).
+    Rfp,
+    /// FaSST (UD send/send, ≤ 4 KB).
+    Fasst,
+    /// Octopus (write-imm RPC).
+    Octopus,
+    /// FaRM (RC write + poll).
+    Farm,
+    /// ScaleRPC (warm-up/process phases).
+    ScaleRpc,
+    /// DaRPC (RC send/recv).
+    Darpc,
+    /// Herd (UC write in, UD send out) — Table 1 only.
+    Herd,
+    /// LITE (kernel write-imm RPC) — Table 1 only.
+    Lite,
+    /// S-RFlush-RPC (ours).
+    SRFlush,
+    /// SFlush-RPC (ours).
+    SFlush,
+    /// W-RFlush-RPC (ours).
+    WRFlush,
+    /// WFlush-RPC (ours).
+    WFlush,
+}
+
+impl SystemKind {
+    /// The 11 systems in the paper's evaluation figures, legend order.
+    pub const PAPER_EVAL: [SystemKind; 11] = [
+        SystemKind::L5,
+        SystemKind::Rfp,
+        SystemKind::Fasst,
+        SystemKind::Octopus,
+        SystemKind::Farm,
+        SystemKind::ScaleRpc,
+        SystemKind::Darpc,
+        SystemKind::SRFlush,
+        SystemKind::SFlush,
+        SystemKind::WRFlush,
+        SystemKind::WFlush,
+    ];
+
+    /// The write-primitive family the paper compares WFlush/W-RFlush with.
+    pub const WRITE_FAMILY: [SystemKind; 5] = [
+        SystemKind::L5,
+        SystemKind::Rfp,
+        SystemKind::Octopus,
+        SystemKind::Farm,
+        SystemKind::ScaleRpc,
+    ];
+
+    /// The send-primitive family the paper compares SFlush/S-RFlush with.
+    pub const SEND_FAMILY: [SystemKind; 2] = [SystemKind::Darpc, SystemKind::Fasst];
+
+    /// The paper's four durable RPCs.
+    pub const OURS: [SystemKind; 4] = [
+        SystemKind::SRFlush,
+        SystemKind::SFlush,
+        SystemKind::WRFlush,
+        SystemKind::WFlush,
+    ];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::L5 => "L5",
+            SystemKind::Rfp => "RFP",
+            SystemKind::Fasst => "FaSST",
+            SystemKind::Octopus => "Octopus",
+            SystemKind::Farm => "FaRM",
+            SystemKind::ScaleRpc => "ScaleRPC",
+            SystemKind::Darpc => "DaRPC",
+            SystemKind::Herd => "Herd",
+            SystemKind::Lite => "LITE",
+            SystemKind::SRFlush => "S-RFlush-RPC",
+            SystemKind::SFlush => "SFlush-RPC",
+            SystemKind::WRFlush => "W-RFlush-RPC",
+            SystemKind::WFlush => "WFlush-RPC",
+        }
+    }
+
+    /// Whether this is one of the paper's durable RPCs.
+    pub fn is_durable_rpc(self) -> bool {
+        Self::OURS.contains(&self)
+    }
+
+    /// The matching durable kind, if any.
+    pub fn durable_kind(self) -> Option<DurableKind> {
+        match self {
+            SystemKind::SRFlush => Some(DurableKind::SRFlush),
+            SystemKind::SFlush => Some(DurableKind::SFlush),
+            SystemKind::WRFlush => Some(DurableKind::WRFlush),
+            SystemKind::WFlush => Some(DurableKind::WFlush),
+            _ => None,
+        }
+    }
+}
+
+/// Knobs shared by every system's construction.
+#[derive(Debug, Clone)]
+pub struct SystemOpts {
+    /// Server load profile.
+    pub profile: ServerProfile,
+    /// Flush implementation for the durable RPCs.
+    pub flush_impl: FlushImpl,
+    /// Object-store slot size (max object bytes).
+    pub object_slot: u64,
+    /// Object-store capacity in PM.
+    pub store_capacity: u64,
+    /// Redo-log slots (durable RPCs).
+    pub log_slots: u64,
+    /// Flow-control threshold (durable RPCs).
+    pub throttle_threshold: u64,
+}
+
+impl Default for SystemOpts {
+    fn default() -> Self {
+        SystemOpts {
+            profile: ServerProfile::light(),
+            flush_impl: FlushImpl::Emulated,
+            object_slot: 64 * 1024,
+            store_capacity: 32 * 1024 * 1024,
+            log_slots: 256,
+            throttle_threshold: 128,
+        }
+    }
+}
+
+impl SystemOpts {
+    /// Options sized for objects of `object_bytes`.
+    pub fn for_object_size(object_bytes: u64, profile: ServerProfile) -> Self {
+        SystemOpts {
+            profile,
+            object_slot: object_bytes.max(64),
+            ..Default::default()
+        }
+    }
+}
+
+/// Build a client endpoint for `kind` between `client_idx` and
+/// `server_idx`. Durable RPC servers are started before returning.
+pub fn build_system(
+    cluster: &Cluster,
+    kind: SystemKind,
+    client_idx: usize,
+    server_idx: usize,
+    lane: usize,
+    opts: &SystemOpts,
+) -> Box<dyn RpcClient> {
+    if let Some(dk) = kind.durable_kind() {
+        let cfg = DurableConfig {
+            kind: dk,
+            flush_impl: opts.flush_impl,
+            profile: opts.profile.clone(),
+            log_slots: opts.log_slots,
+            slot_payload: opts.object_slot,
+            object_slot: opts.object_slot,
+            store_capacity: opts.store_capacity,
+            throttle_threshold: opts.throttle_threshold,
+            throttle_backoff: SimDuration::from_micros(20),
+            head_persist_interval: 16,
+        };
+        let (client, server) = build_durable(cluster, client_idx, server_idx, lane, cfg);
+        server.start();
+        return Box::new(client);
+    }
+    let p = opts.profile.clone();
+    let os = opts.object_slot;
+    let sc = opts.store_capacity;
+    match kind {
+        SystemKind::L5 => Box::new(build_l5(cluster, client_idx, server_idx, lane, p, os, sc)),
+        SystemKind::Rfp => Box::new(build_rfp(cluster, client_idx, server_idx, lane, p, os, sc)),
+        SystemKind::Fasst => {
+            Box::new(build_fasst(cluster, client_idx, server_idx, lane, p, os, sc))
+        }
+        SystemKind::Octopus => {
+            Box::new(build_octopus(cluster, client_idx, server_idx, lane, p, os, sc))
+        }
+        SystemKind::Farm => Box::new(build_farm(cluster, client_idx, server_idx, lane, p, os, sc)),
+        SystemKind::ScaleRpc => {
+            Box::new(build_scalerpc(cluster, client_idx, server_idx, lane, p, os, sc))
+        }
+        SystemKind::Darpc => {
+            Box::new(build_darpc(cluster, client_idx, server_idx, lane, p, os, sc))
+        }
+        SystemKind::Herd => Box::new(build_herd(cluster, client_idx, server_idx, lane, p, os, sc)),
+        SystemKind::Lite => Box::new(build_lite(cluster, client_idx, server_idx, lane, p, os, sc)),
+        _ => unreachable!("durable kinds handled above"),
+    }
+}

@@ -1,0 +1,12 @@
+//! DESIGN.md ablations: flush implementation, DDIO, flow-control
+//! threshold.
+use prdma_bench::{emit_all, exp, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit_all(exp::abl_flush_impl(scale));
+    emit_all(exp::abl_ddio(scale));
+    emit_all(exp::abl_log_threshold(scale));
+    emit_all(exp::abl_replication(scale));
+    emit_all(exp::case_fig7a(scale));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's 08_throughput series. Run: cargo bench --bench fig08_throughput
+use prdma_bench::{emit_all, exp, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit_all(exp::fig08(scale));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's 09_tail_latency series. Run: cargo bench --bench fig09_tail_latency
+use prdma_bench::{emit_all, exp, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit_all(exp::fig09(scale));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's 10_pagerank series. Run: cargo bench --bench fig10_pagerank
+use prdma_bench::{emit_all, exp, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit_all(exp::fig10(scale));
+}

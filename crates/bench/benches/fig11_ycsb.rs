@@ -1,0 +1,7 @@
+//! Regenerates the paper's 11_ycsb series. Run: cargo bench --bench fig11_ycsb
+use prdma_bench::{emit_all, exp, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit_all(exp::fig11(scale));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's 12_failure_recovery series. Run: cargo bench --bench fig12_failure_recovery
+use prdma_bench::{emit_all, exp, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit_all(exp::fig12(scale));
+}

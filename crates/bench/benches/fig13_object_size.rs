@@ -1,0 +1,7 @@
+//! Regenerates the paper's 13_object_size series. Run: cargo bench --bench fig13_object_size
+use prdma_bench::{emit_all, exp, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit_all(exp::fig13(scale));
+}

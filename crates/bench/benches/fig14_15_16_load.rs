@@ -1,0 +1,6 @@
+//! Regenerates Figs. 14-16 (network / receiver-CPU / sender-CPU load).
+use prdma_bench::{emit_all, exp, Scale};
+
+fn main() {
+    emit_all(exp::fig14_15_16(Scale::from_env()));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's 17_concurrent_senders series. Run: cargo bench --bench fig17_concurrent_senders
+use prdma_bench::{emit_all, exp, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit_all(exp::fig17(scale));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's 18_access_pattern series. Run: cargo bench --bench fig18_access_pattern
+use prdma_bench::{emit_all, exp, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit_all(exp::fig18(scale));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's 19_batching series. Run: cargo bench --bench fig19_batching
+use prdma_bench::{emit_all, exp, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit_all(exp::fig19(scale));
+}

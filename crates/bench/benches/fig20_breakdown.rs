@@ -1,0 +1,7 @@
+//! Regenerates the paper's 20_breakdown series. Run: cargo bench --bench fig20_breakdown
+use prdma_bench::{emit_all, exp, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit_all(exp::fig20(scale));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's table2_summary series. Run: cargo bench --bench table2_summary
+use prdma_bench::{emit_all, exp, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit_all(exp::table2(scale));
+}

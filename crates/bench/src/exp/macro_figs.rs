@@ -1,0 +1,190 @@
+//! Macro-benchmark figures: PageRank (Fig. 10), YCSB (Fig. 11), failure
+//! recovery (Fig. 12), and the latency breakdown (Fig. 20).
+
+use prdma::ServerProfile;
+use prdma_baselines::{build_system, SystemKind, SystemOpts};
+use prdma_node::{Cluster, ClusterConfig};
+use prdma_simnet::{Sim, SimDuration};
+use prdma_workloads::faults::{run_faulty, FaultConfig, MeasuredCosts, Scheme};
+use prdma_workloads::graph::{generate, GraphDataset};
+use prdma_workloads::micro::MicroConfig;
+use prdma_workloads::pagerank::{run_pagerank, PageRankConfig};
+use prdma_workloads::ycsb::{YcsbConfig, YcsbWorkload};
+
+use crate::report::{us, Table};
+use crate::runner::{micro_run, ycsb_run, ExpEnv, Scale};
+
+/// Fig. 10: PageRank execution time per dataset per system.
+pub fn fig10(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "fig10_pagerank",
+        format!(
+            "PageRank time (simulated s, {} iterations)",
+            scale.pr_iters
+        ),
+        &["system", "wordassociation-2011", "enron", "dblp-2010"],
+    );
+    for kind in SystemKind::PAPER_EVAL {
+        if kind == SystemKind::Fasst {
+            continue; // 4 KB pages fit, but the paper omits FaSST here too
+        }
+        let mut cells = vec![kind.name().to_string()];
+        for ds in GraphDataset::ALL {
+            let graph = generate(ds, 2021);
+            let mut sim = Sim::new(11);
+            let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(2));
+            let opts = SystemOpts::for_object_size(4096, ServerProfile::light());
+            let client = build_system(&cluster, kind, 1, 0, 0, &opts);
+            let cfg = PageRankConfig {
+                iterations: scale.pr_iters,
+                ..Default::default()
+            };
+            let h = sim.handle();
+            let r = sim
+                .block_on(async move { run_pagerank(client.as_ref(), &h, &graph, &cfg).await });
+            cells.push(format!("{:.3}", r.elapsed.as_secs_f64()));
+        }
+        t.row(cells);
+    }
+    vec![t]
+}
+
+/// Fig. 11: YCSB A–F average RPC latency (4 KB values).
+pub fn fig11(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "fig11_ycsb",
+        "YCSB average latency (us), 4KB values, 50K records",
+        &["system", "A", "B", "C", "D", "E", "F"],
+    );
+    for kind in SystemKind::PAPER_EVAL {
+        if kind == SystemKind::Fasst {
+            continue; // 4 KB values + headers exceed the UD MTU
+        }
+        let mut cells = vec![kind.name().to_string()];
+        for w in YcsbWorkload::ALL {
+            let env = ExpEnv::sized(4096, ServerProfile::light());
+            let cfg = YcsbConfig {
+                records: scale.objects,
+                ops: if w == YcsbWorkload::E {
+                    scale.ycsb_ops / 10 // scans touch ~50 objects each
+                } else {
+                    scale.ycsb_ops
+                },
+                workload: w,
+                ..Default::default()
+            };
+            let r = ycsb_run(kind, &env, cfg);
+            cells.push(us(r.run.latency.mean_us()));
+        }
+        t.row(cells);
+    }
+    vec![t]
+}
+
+/// Fig. 12: total execution time under failures, durable RPCs normalized
+/// to a traditional RPC (lower is better).
+pub fn fig12(scale: Scale) -> Vec<Table> {
+    // Measure per-op costs with the full simulation: WFlush-RPC as the
+    // durable representative, FaRM as the traditional one.
+    let measure = |kind: SystemKind, read_ratio: f64| -> (SimDuration, SimDuration, f64) {
+        let env = ExpEnv::sized(4096, ServerProfile::light());
+        let mk = |ratio| MicroConfig {
+            objects: 1000,
+            ops: 400,
+            object_size: 4096,
+            read_ratio: ratio,
+            ..Default::default()
+        };
+        let reads = micro_run(kind, &env, mk(1.0));
+        let writes = micro_run(kind, &env, mk(0.0));
+        let _ = read_ratio;
+        (
+            SimDuration::from_nanos(reads.run.latency.mean_ns as u64),
+            SimDuration::from_nanos(writes.run.latency.mean_ns as u64),
+            writes.server_media_us_per_op,
+        )
+    };
+    let (d_read, d_write, d_media) = measure(SystemKind::WFlush, 0.5);
+    let (t_read, t_write, _) = measure(SystemKind::Farm, 0.5);
+
+    let durable_costs = MeasuredCosts {
+        read: d_read,
+        write: d_write,
+        // A write is vulnerable from issue to flush-ACK: its whole
+        // latency window.
+        persistence_window: d_write,
+        replay: SimDuration::from_micros_f64(d_media.max(0.5)),
+    };
+    let traditional_costs = MeasuredCosts {
+        read: t_read,
+        write: t_write,
+        persistence_window: t_write,
+        replay: SimDuration::ZERO,
+    };
+
+    let mixes = [(0.0, "100%Read"), (0.5, "50%R+50%W"), (1.0, "100%Write")];
+    let mut t = Table::new(
+        "fig12_failure_recovery",
+        format!(
+            "Normalized total time vs availability ({} ops, 300ms restart, 100ms re-transfer)",
+            scale.fault_ops
+        ),
+        &["availability", "100%Read", "50%R+50%W", "100%Write"],
+    );
+    for a in [0.99, 0.999, 0.9999, 0.99999] {
+        let mut cells = vec![format!("{:.3}%", a * 100.0)];
+        for &(w, _) in &mixes {
+            let cfg = FaultConfig {
+                availability: a,
+                write_ratio: w,
+                ops: scale.fault_ops,
+                ..Default::default()
+            };
+            let durable = run_faulty(Scheme::DurableRpc, &durable_costs, &cfg);
+            let trad = run_faulty(Scheme::Traditional, &traditional_costs, &cfg);
+            let norm = durable.total.as_nanos() as f64 / trad.total.as_nanos() as f64;
+            cells.push(format!("{norm:.3}"));
+        }
+        t.row(cells);
+    }
+    vec![t]
+}
+
+/// Fig. 20: latency breakdown on YCSB workload A: sender software, RTT
+/// (network + NIC hardware), receiver software (RPC processing + data
+/// persisting).
+pub fn fig20(scale: Scale) -> Vec<Table> {
+    // Note: for the durable RPCs, receiver software runs largely *after*
+    // the client-visible completion (decoupled processing), so their
+    // receiver_sw column is off the latency path; rtt is clamped at 0.
+    let mut t = Table::new(
+        "fig20_breakdown",
+        "Latency breakdown (us/op), YCSB A (durable RPCs: receiver_sw is off the latency path)",
+        &["system", "sender_sw", "receiver_sw", "rtt", "total"],
+    );
+    for kind in SystemKind::PAPER_EVAL {
+        if kind == SystemKind::Fasst {
+            continue;
+        }
+        let env = ExpEnv::sized(4096, ServerProfile::light());
+        let cfg = YcsbConfig {
+            records: scale.objects,
+            ops: scale.ycsb_ops / 2,
+            workload: YcsbWorkload::A,
+            ..Default::default()
+        };
+        let r = ycsb_run(kind, &env, cfg);
+        let total = r.run.latency.mean_us();
+        let sender = r.client_cpu_us_per_op;
+        let receiver = r.server_cpu_us_per_op + r.server_media_us_per_op;
+        let rtt = (total - sender - receiver).max(0.0);
+        t.row(vec![
+            kind.name().into(),
+            us(sender),
+            us(receiver),
+            us(rtt),
+            us(total),
+        ]);
+    }
+    vec![t]
+}

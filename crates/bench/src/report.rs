@@ -1,0 +1,126 @@
+//! Result tables: aligned console output plus CSV files under
+//! `target/paper_results/` (override with `PRDMA_OUT`).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// One table of results (a figure series or a table from the paper).
+pub struct Table {
+    /// Short id, e.g. `fig08_heavy_64KB`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of stringified cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "ragged table row");
+        self.rows.push(cells);
+    }
+
+    /// Print with aligned columns.
+    pub fn print(&self) {
+        println!("\n== {} — {}", self.id, self.title);
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", fmt_row(&self.headers));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+    }
+
+    /// Save as CSV into the output directory; returns the path.
+    pub fn save_csv(&self) -> PathBuf {
+        let dir = output_dir();
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut f = fs::File::create(&path).expect("create csv");
+        writeln!(f, "{}", self.headers.join(",")).expect("write csv");
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(",")).expect("write csv");
+        }
+        path
+    }
+
+    /// Print and save.
+    pub fn emit(&self) {
+        self.print();
+        let p = self.save_csv();
+        println!("   (saved {})", p.display());
+    }
+}
+
+/// Where CSVs go: `$PRDMA_OUT`, or `<workspace>/target/paper_results`
+/// (anchored via this crate's manifest dir, so `cargo bench` run from any
+/// directory lands in one place).
+pub fn output_dir() -> PathBuf {
+    if let Some(p) = std::env::var_os("PRDMA_OUT") {
+        return PathBuf::from(p);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/paper_results")
+}
+
+/// Format a microsecond value for tables.
+pub fn us(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a KOPS value for tables.
+pub fn kops(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("test_table", "a test", &["sys", "val"]);
+        t.row(vec!["FaRM".into(), "1.0".into()]);
+        t.row(vec!["WFlush-RPC".into(), "2.0".into()]);
+        std::env::set_var("PRDMA_OUT", std::env::temp_dir().join("prdma_test_out"));
+        let p = t.save_csv();
+        let content = std::fs::read_to_string(p).unwrap();
+        assert!(content.starts_with("sys,val\n"));
+        assert!(content.contains("WFlush-RPC,2.0"));
+        std::env::remove_var("PRDMA_OUT");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new("x", "y", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

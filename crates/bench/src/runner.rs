@@ -1,0 +1,251 @@
+//! Shared experiment plumbing: build a cluster with the experiment's
+//! environment knobs, run a workload, and collect results plus resource
+//! accounting for the breakdown figures.
+
+use prdma::{FlushImpl, ServerProfile};
+use prdma_baselines::{build_system, SystemKind, SystemOpts};
+use prdma_node::{Cluster, ClusterConfig};
+use prdma_simnet::{Sim, SimDuration, SimTime};
+use prdma_workloads::micro::{run_micro, run_micro_merged, MicroConfig, RunResult};
+use prdma_workloads::ycsb::{run_ycsb, YcsbConfig};
+
+/// Environment knobs an experiment can toggle.
+#[derive(Debug, Clone)]
+pub struct ExpEnv {
+    /// Nodes in the cluster (node 0 = server).
+    pub nodes: usize,
+    /// Server load profile.
+    pub profile: ServerProfile,
+    /// Object/value size in bytes.
+    pub object_size: u64,
+    /// Flush implementation for durable RPCs.
+    pub flush_impl: FlushImpl,
+    /// Enable DDIO on every RNIC.
+    pub ddio: bool,
+    /// Congest the client<->server links with background traffic.
+    pub network_busy: bool,
+    /// Saturate the receiver's CPU with background compute.
+    pub receiver_busy: bool,
+    /// Saturate the sender's CPU with background compute.
+    pub sender_busy: bool,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for ExpEnv {
+    fn default() -> Self {
+        ExpEnv {
+            nodes: 2,
+            profile: ServerProfile::light(),
+            object_size: 64 * 1024,
+            flush_impl: FlushImpl::Emulated,
+            ddio: false,
+            network_busy: false,
+            receiver_busy: false,
+            sender_busy: false,
+            seed: 20211114, // the paper's conference date
+        }
+    }
+}
+
+impl ExpEnv {
+    /// Environment with a given size/profile, defaults otherwise.
+    pub fn sized(object_size: u64, profile: ServerProfile) -> Self {
+        ExpEnv {
+            object_size,
+            profile,
+            ..Default::default()
+        }
+    }
+
+    fn system_opts(&self) -> SystemOpts {
+        SystemOpts {
+            profile: self.profile.clone(),
+            flush_impl: self.flush_impl,
+            object_slot: self.object_size.max(64),
+            ..Default::default()
+        }
+    }
+
+    fn build_cluster(&self, sim: &Sim) -> Cluster {
+        let mut cfg = ClusterConfig::with_nodes(self.nodes);
+        cfg.rnic.ddio = self.ddio;
+        let cluster = Cluster::new(sim.handle(), cfg);
+        if self.network_busy {
+            // A background stream of 32 KB packets, both directions,
+            // for the whole experiment (paper Fig. 14's "busy" link).
+            let f = cluster.fabric().clone();
+            let a = cluster.node(0).id;
+            let b = cluster.node(1).id;
+            let forever = SimTime::from_nanos(u64::MAX / 2);
+            f.background_traffic(b, a, 32 * 1024, SimDuration::ZERO, forever);
+            f.background_traffic(a, b, 32 * 1024, SimDuration::ZERO, forever);
+        }
+        if self.receiver_busy {
+            saturate_cpu(sim, &cluster, 0);
+        }
+        if self.sender_busy {
+            for i in 1..self.nodes {
+                saturate_cpu(sim, &cluster, i);
+            }
+        }
+        cluster
+    }
+}
+
+/// Occupy all but one core permanently and keep the last core ~80% busy
+/// with short compute bursts (the paper's "busy" CPU condition).
+fn saturate_cpu(sim: &Sim, cluster: &Cluster, node: usize) {
+    let cpu = cluster.node(node).cpu.clone();
+    cpu.make_busy();
+    let h = sim.handle();
+    let h2 = h.clone();
+    h.spawn(async move {
+        loop {
+            cpu.compute(SimDuration::from_micros(8)).await;
+            h2.sleep(SimDuration::from_micros(2)).await;
+        }
+    });
+}
+
+/// Results of one environment run, with resource accounting.
+pub struct EnvResult {
+    /// Workload results (latency, throughput).
+    pub run: RunResult,
+    /// Client CPU busy time per completed op (sender software).
+    pub client_cpu_us_per_op: f64,
+    /// Server CPU busy time per completed op (receiver software).
+    pub server_cpu_us_per_op: f64,
+    /// Server PM media busy time per completed op (data persisting cost).
+    pub server_media_us_per_op: f64,
+}
+
+/// Run the micro-benchmark for `kind` under `env`.
+pub fn micro_run(kind: SystemKind, env: &ExpEnv, cfg: MicroConfig) -> EnvResult {
+    let mut sim = Sim::new(env.seed);
+    let cluster = env.build_cluster(&sim);
+    let opts = env.system_opts();
+    let client = build_system(&cluster, kind, 1, 0, 0, &opts);
+    let server_cpu = cluster.node(0).cpu.clone();
+    let client_cpu = cluster.node(1).cpu.clone();
+    let server_pm = cluster.node(0).pm.clone();
+    let h = sim.handle();
+
+    let cpu0_s = server_cpu.busy_time();
+    let cpu1_s = client_cpu.busy_time();
+    let media_s = server_pm.media_busy_time();
+    let run = sim.block_on(async move { run_micro(client.as_ref(), &h, &cfg).await });
+    let ops = run.ops.max(1) as f64;
+    EnvResult {
+        client_cpu_us_per_op: (client_cpu.busy_time() - cpu1_s).as_micros_f64() / ops,
+        server_cpu_us_per_op: (server_cpu.busy_time() - cpu0_s).as_micros_f64() / ops,
+        server_media_us_per_op: (server_pm.media_busy_time() - media_s).as_micros_f64() / ops,
+        run,
+    }
+}
+
+/// Run the micro-benchmark with `senders` concurrent clients (Fig. 17).
+pub fn micro_run_concurrent(
+    kind: SystemKind,
+    env: &ExpEnv,
+    cfg: MicroConfig,
+    senders: usize,
+) -> RunResult {
+    let env = ExpEnv {
+        nodes: senders + 1,
+        ..env.clone()
+    };
+    let mut sim = Sim::new(env.seed);
+    let cluster = env.build_cluster(&sim);
+    let opts = env.system_opts();
+    let clients: Vec<Box<dyn prdma::RpcClient>> = (1..=senders)
+        .map(|i| build_system(&cluster, kind, i, 0, i - 1, &opts))
+        .collect();
+    let h = sim.handle();
+    sim.block_on(async move { run_micro_merged(clients, &h, &cfg).await })
+}
+
+/// Run a YCSB workload for `kind` under `env`.
+pub fn ycsb_run(kind: SystemKind, env: &ExpEnv, cfg: YcsbConfig) -> EnvResult {
+    let mut sim = Sim::new(env.seed);
+    let cluster = env.build_cluster(&sim);
+    let opts = env.system_opts();
+    let client = build_system(&cluster, kind, 1, 0, 0, &opts);
+    let server_cpu = cluster.node(0).cpu.clone();
+    let client_cpu = cluster.node(1).cpu.clone();
+    let server_pm = cluster.node(0).pm.clone();
+    let h = sim.handle();
+    let run = sim.block_on(async move { run_ycsb(client.as_ref(), &h, &cfg).await });
+    let ops = run.ops.max(1) as f64;
+    EnvResult {
+        client_cpu_us_per_op: client_cpu.busy_time().as_micros_f64() / ops,
+        server_cpu_us_per_op: server_cpu.busy_time().as_micros_f64() / ops,
+        server_media_us_per_op: server_pm.media_busy_time().as_micros_f64() / ops,
+        run,
+    }
+}
+
+/// Experiment scale: paper-size runs for `cargo bench`, smaller for CI.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Micro-benchmark ops per configuration.
+    pub micro_ops: u64,
+    /// Objects in the store.
+    pub objects: u64,
+    /// YCSB ops per workload.
+    pub ycsb_ops: u64,
+    /// PageRank iterations.
+    pub pr_iters: u32,
+    /// Ops per sender in the concurrency sweep.
+    pub concurrent_ops: u64,
+    /// Ops in the failure-recovery replay.
+    pub fault_ops: u64,
+}
+
+impl Scale {
+    /// The paper's full experiment sizes (minutes of wall time).
+    pub fn paper() -> Self {
+        Scale {
+            micro_ops: 300_000,
+            objects: 50_000,
+            ycsb_ops: 300_000,
+            pr_iters: 10,
+            concurrent_ops: 30_000,
+            fault_ops: 1_000_000_000,
+        }
+    }
+
+    /// Default bench scale: same shapes, ~20x fewer ops.
+    pub fn bench() -> Self {
+        Scale {
+            micro_ops: 15_000,
+            objects: 50_000,
+            ycsb_ops: 15_000,
+            pr_iters: 5,
+            concurrent_ops: 1_500,
+            fault_ops: 1_000_000_000,
+        }
+    }
+
+    /// Smoke scale for tests.
+    pub fn smoke() -> Self {
+        Scale {
+            micro_ops: 300,
+            objects: 500,
+            ycsb_ops: 300,
+            pr_iters: 2,
+            concurrent_ops: 60,
+            fault_ops: 10_000_000,
+        }
+    }
+
+    /// Resolve from `PRDMA_SCALE` (`paper` / `bench` / `smoke`), default
+    /// bench.
+    pub fn from_env() -> Self {
+        match std::env::var("PRDMA_SCALE").as_deref() {
+            Ok("paper") => Scale::paper(),
+            Ok("smoke") => Scale::smoke(),
+            _ => Scale::bench(),
+        }
+    }
+}

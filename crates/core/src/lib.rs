@@ -1,0 +1,68 @@
+//! # prdma
+//!
+//! The core library of PRDMA-RS — a reproduction of *Hardware-Supported
+//! Remote Persistence for Distributed Persistent Memory* (SC '21).
+//!
+//! This crate implements the paper's contribution on top of the simulated
+//! substrates ([`prdma_simnet`], [`prdma_pmem`], [`prdma_rnic`],
+//! [`prdma_node`]):
+//!
+//! * **RDMA Flush primitives** ([`flush`]): sender-initiated `WFlush` /
+//!   `SFlush`, with both the paper's emulation (read-after-write; 7 µs
+//!   address-lookup stall for SFlush) and the proposed native-RNIC model.
+//! * **A PM redo log** ([`log`]): slotted ring with data-before-operator
+//!   commit ordering, 8-byte atomic commit words, FIFO replay, and flow
+//!   control.
+//! * **Durable RPCs** ([`durable`]): `WFlush-RPC`, `SFlush-RPC`,
+//!   `W-RFlush-RPC`, `S-RFlush-RPC` — persistence visibility decoupled
+//!   from RPC processing, enabling transmission/processing overlap and
+//!   crash recovery without client re-transmission.
+//! * **A uniform RPC interface** ([`rpc`]) shared with the nine baseline
+//!   systems in `prdma-baselines`, so experiments sweep all systems.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use prdma_simnet::Sim;
+//! use prdma_node::{Cluster, ClusterConfig};
+//! use prdma_rnic::Payload;
+//! use prdma::{build_durable, DurableConfig, DurableKind, Request, RpcClient};
+//!
+//! let mut sim = Sim::new(42);
+//! let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(2));
+//! let (client, server) = build_durable(
+//!     &cluster, 1, 0, 0,
+//!     DurableConfig::for_kind(DurableKind::WFlush),
+//! );
+//! server.start();
+//! sim.block_on(async move {
+//!     let resp = client
+//!         .call(Request::Put { obj: 1, data: Payload::from_bytes(b"hi".to_vec()) })
+//!         .await
+//!         .unwrap();
+//!     assert!(resp.durable); // durable *now*, processing may still run
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod durable;
+pub mod flush;
+pub mod log;
+pub mod recovery;
+pub mod replication;
+pub mod rpc;
+pub mod store;
+
+pub use durable::{build_durable, DurableClient, DurableConfig, DurableKind, DurableServer};
+pub use flush::{FlushImpl, FlushOps};
+pub use log::{
+    encode_entry, entry_data_part, LogCursor, LogEntry, LogLayout, OpCode, RedoLog,
+    RemoteLogWriter, RpcOperator,
+};
+pub use recovery::{RecoveryOutcome, RecoveryStats};
+pub use replication::{build_replicated, ReplicatedClient};
+pub use rpc::{
+    Request, Response, RpcBatchFuture, RpcClient, RpcError, RpcFuture, RpcResult, ServerProfile,
+};
+pub use store::ObjectStore;

@@ -1,0 +1,893 @@
+//! The PM redo log (paper Section 4.2, Fig. 5).
+//!
+//! A slotted ring buffer in the server's persistent memory. Clients append
+//! log entries *remotely* (RDMA write or send + Flush); the server consumes
+//! them with a worker pool and marks them done. Failure atomicity comes
+//! from the entry layout: the commit word is the **last** 8 bytes the DMA
+//! engine writes, so a torn entry is never mistaken for a valid one — this
+//! is the paper's "data is always persisted before the RPC operator"
+//! invariant, realized by DMA write ordering within one transfer.
+//!
+//! Entry layout within a slot (all little-endian u64 fields):
+//!
+//! ```text
+//! +0   seq          global slot index (monotonic across ring laps)
+//! +8   opcode       RPC operator
+//! +16  obj_id       operand
+//! +24  payload_len
+//! +32  state        0 = pending (written by client), 1 = done (server)
+//! +40  payload      payload_len bytes
+//! +pad commit       COMMIT_MAGIC ^ seq  — written last
+//! ```
+//!
+//! The 64-byte log header at the start of the region holds the persistent
+//! head pointer; recovery scans forward from it, accepting entries whose
+//! commit word matches their expected global index, and returns those not
+//! yet marked done — in FIFO order, preserving the paper's ordering
+//! guarantee for concurrent RPCs.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use prdma_pmem::{PmDevice, PmRegion};
+use prdma_rnic::{MemTarget, Payload, PersistToken, Qp, RdmaResult};
+use prdma_simnet::SimDuration;
+
+use crate::flush::FlushOps;
+
+/// Commit-word magic; an entry is valid iff `commit == COMMIT_MAGIC ^ seq`.
+pub const COMMIT_MAGIC: u64 = 0x5052_444D_414C_4F47; // "PRDMALOG"
+
+/// Bytes reserved at the start of the log region for the header.
+pub const LOG_HEADER_BYTES: u64 = 64;
+
+/// Fixed per-entry header bytes (seq..state).
+pub const ENTRY_HEADER: u64 = 40;
+
+/// Commit word size.
+pub const ENTRY_FOOTER: u64 = 8;
+
+const STATE_PENDING: u64 = 0;
+const STATE_DONE: u64 = 1;
+
+/// Operators that get logged (reads are not logged — they mutate nothing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpCode {
+    /// Store an object.
+    Put,
+    /// An opaque processing request (macro-benchmarks).
+    Process,
+}
+
+impl OpCode {
+    fn to_u64(self) -> u64 {
+        match self {
+            OpCode::Put => 1,
+            OpCode::Process => 2,
+        }
+    }
+
+    fn from_u64(v: u64) -> Option<Self> {
+        match v {
+            1 => Some(OpCode::Put),
+            2 => Some(OpCode::Process),
+            _ => None,
+        }
+    }
+}
+
+/// The logged RPC operator: opcode + operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpcOperator {
+    /// What to do.
+    pub opcode: OpCode,
+    /// Which object it concerns.
+    pub obj_id: u64,
+}
+
+/// Geometry of a log ring within a PM region.
+#[derive(Debug, Clone, Copy)]
+pub struct LogLayout {
+    /// The backing PM region (header + slots).
+    pub region: PmRegion,
+    /// Slot size in bytes (must hold header + max payload + footer).
+    pub slot_size: u64,
+    /// Number of slots.
+    pub slots: u64,
+}
+
+impl LogLayout {
+    /// Carve a layout out of `region` with the given slot size.
+    ///
+    /// # Panics
+    /// Panics if the region cannot hold the header and at least two slots.
+    pub fn new(region: PmRegion, slot_size: u64) -> Self {
+        assert!(slot_size >= ENTRY_HEADER + ENTRY_FOOTER + 8, "slot too small");
+        assert_eq!(slot_size % 8, 0, "slot size must be 8-byte aligned");
+        let slots = (region.len - LOG_HEADER_BYTES) / slot_size;
+        assert!(slots >= 2, "log region too small for 2 slots");
+        LogLayout {
+            region,
+            slot_size,
+            slots,
+        }
+    }
+
+    /// Largest payload an entry can carry.
+    pub fn max_payload(&self) -> u64 {
+        self.slot_size - ENTRY_HEADER - ENTRY_FOOTER
+    }
+
+    /// Device address of the slot for global index `index`.
+    pub fn slot_addr(&self, index: u64) -> u64 {
+        self.region.offset + LOG_HEADER_BYTES + (index % self.slots) * self.slot_size
+    }
+
+    /// Offset of the commit word within a slot, for a given payload size.
+    pub fn commit_offset(payload_len: u64) -> u64 {
+        ENTRY_HEADER + align8(payload_len)
+    }
+
+    /// Device address of the last byte the DMA writes for this entry —
+    /// the flush probe target.
+    pub fn probe_addr(&self, index: u64, payload_len: u64) -> u64 {
+        self.slot_addr(index) + Self::commit_offset(payload_len) + ENTRY_FOOTER - 1
+    }
+}
+
+#[inline]
+fn align8(v: u64) -> u64 {
+    (v + 7) & !7
+}
+
+/// Serialize a log entry as a DMA image: real header/footer bytes wrapped
+/// around the (possibly synthetic) payload, so the commit word is the last
+/// thing written.
+pub fn encode_entry(index: u64, op: RpcOperator, data: &Payload) -> Payload {
+    let payload_len = data.len();
+    let mut header = Vec::with_capacity(ENTRY_HEADER as usize);
+    header.extend_from_slice(&index.to_le_bytes());
+    header.extend_from_slice(&op.opcode.to_u64().to_le_bytes());
+    header.extend_from_slice(&op.obj_id.to_le_bytes());
+    header.extend_from_slice(&payload_len.to_le_bytes());
+    header.extend_from_slice(&STATE_PENDING.to_le_bytes());
+    let pad = align8(payload_len) - payload_len;
+    let mut footer = vec![0u8; pad as usize];
+    footer.extend_from_slice(&(COMMIT_MAGIC ^ index).to_le_bytes());
+    Payload::composite(vec![
+        Payload::from_bytes(header),
+        data.clone(),
+        Payload::from_bytes(footer),
+    ])
+}
+
+/// Extract the data part from an entry image produced by [`encode_entry`]
+/// (header, data, footer) — used by arrival handlers that need the payload
+/// without re-reading PM.
+pub fn entry_data_part(image: &Payload) -> Payload {
+    match image {
+        Payload::Composite(parts) if parts.len() == 3 => parts[1].clone(),
+        other => other.clone(),
+    }
+}
+
+/// A committed entry found in the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Global slot index.
+    pub index: u64,
+    /// The logged operator.
+    pub op: RpcOperator,
+    /// Payload bytes as read from PM (synthetic benchmark payloads read
+    /// back as whatever the region held; correctness tests use inline
+    /// payloads).
+    pub payload: Vec<u8>,
+    /// Whether the server had marked it done before the scan.
+    pub done: bool,
+}
+
+/// Shared head/tail cursors: the client advances `tail` as it appends, the
+/// server advances `head` as it completes. `tail - head` is the outstanding
+/// depth the flow controller watches.
+#[derive(Clone, Default)]
+pub struct LogCursor {
+    inner: Rc<CursorInner>,
+}
+
+#[derive(Default)]
+struct CursorInner {
+    head: Cell<u64>,
+    tail: Cell<u64>,
+    /// Head value durably recorded in PM (lags `head` by at most the
+    /// head-persist interval). The writer must never reuse slots past
+    /// this point, or recovery could miss live entries after a wrap.
+    durable_head: Cell<u64>,
+}
+
+impl LogCursor {
+    /// A fresh cursor at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Completed-up-to index.
+    pub fn head(&self) -> u64 {
+        self.inner.head.get()
+    }
+
+    /// Next index to append.
+    pub fn tail(&self) -> u64 {
+        self.inner.tail.get()
+    }
+
+    /// Entries appended but not yet completed.
+    pub fn outstanding(&self) -> u64 {
+        self.inner.tail.get() - self.inner.head.get()
+    }
+
+    fn advance_tail(&self) -> u64 {
+        let t = self.inner.tail.get();
+        self.inner.tail.set(t + 1);
+        t
+    }
+
+    fn set_head(&self, h: u64) {
+        self.inner.head.set(h);
+    }
+
+    /// Durably-recorded head (wrap-safety bound for the writer).
+    pub fn durable_head(&self) -> u64 {
+        self.inner.durable_head.get()
+    }
+
+    fn set_durable_head(&self, h: u64) {
+        self.inner.durable_head.set(h);
+    }
+
+    /// Reset both cursors (post-recovery reinitialization).
+    pub fn reset(&self, head: u64, tail: u64) {
+        self.inner.head.set(head);
+        self.inner.tail.set(tail);
+        self.inner.durable_head.set(head);
+    }
+}
+
+/// Server-side view of the redo log: completion marking, head advancement,
+/// and crash recovery.
+#[derive(Clone)]
+pub struct RedoLog {
+    pm: PmDevice,
+    layout: LogLayout,
+    cursor: LogCursor,
+    /// Done flags for the current window (volatile; rebuilt on recovery).
+    done_window: Rc<std::cell::RefCell<std::collections::BTreeSet<u64>>>,
+    /// Persist the head pointer once it has advanced this many entries
+    /// (1 = persist on every completion). Batching head persistence keeps
+    /// PM-media work off the completion path; the cost is that up to
+    /// `interval` already-processed entries replay after a crash —
+    /// harmless, because Put replay is idempotent.
+    head_persist_interval: Cell<u64>,
+    /// Last head value durably recorded.
+    persisted_head: Cell<u64>,
+}
+
+impl RedoLog {
+    /// Open a redo log over `layout`, sharing `cursor` with the client.
+    pub fn new(pm: PmDevice, layout: LogLayout, cursor: LogCursor) -> Self {
+        RedoLog {
+            pm,
+            layout,
+            cursor,
+            done_window: Rc::default(),
+            head_persist_interval: Cell::new(16),
+            persisted_head: Cell::new(0),
+        }
+    }
+
+    /// Set how often the head pointer is made durable (see field docs).
+    pub fn set_head_persist_interval(&self, interval: u64) {
+        self.head_persist_interval.set(interval.max(1));
+    }
+
+    /// The log geometry.
+    pub fn layout(&self) -> &LogLayout {
+        &self.layout
+    }
+
+    /// The shared cursor.
+    pub fn cursor(&self) -> &LogCursor {
+        &self.cursor
+    }
+
+    /// Read a committed entry at `index` from the CPU's view of PM.
+    /// Returns `None` if the slot does not hold a valid entry for `index`.
+    pub fn read_entry(&self, index: u64) -> Option<LogEntry> {
+        self.read_entry_from(index, false)
+    }
+
+    fn read_entry_from(&self, index: u64, persistent_only: bool) -> Option<LogEntry> {
+        let addr = self.layout.slot_addr(index);
+        let read = |a: u64, l: u64| {
+            if persistent_only {
+                self.pm.read_persistent_view(a, l)
+            } else {
+                self.pm.read_volatile_view(a, l)
+            }
+        };
+        let header = read(addr, ENTRY_HEADER);
+        let seq = u64_at(&header, 0);
+        if seq != index {
+            return None;
+        }
+        let opcode = OpCode::from_u64(u64_at(&header, 8))?;
+        let obj_id = u64_at(&header, 16);
+        let payload_len = u64_at(&header, 24);
+        let state = u64_at(&header, 32);
+        if payload_len > self.layout.max_payload() {
+            return None;
+        }
+        let commit_addr = addr + LogLayout::commit_offset(payload_len);
+        let commit = u64_at(&read(commit_addr, 8), 0);
+        if commit != COMMIT_MAGIC ^ index {
+            return None;
+        }
+        let payload = read(addr + ENTRY_HEADER, payload_len);
+        Some(LogEntry {
+            index,
+            op: RpcOperator { opcode, obj_id },
+            payload,
+            done: state == STATE_DONE,
+        })
+    }
+
+    /// Mark entry `index` done: a volatile 8-byte state update (CPU
+    /// store), advance the head over contiguous completions, and persist
+    /// the head pointer once it has advanced by the configured interval.
+    /// This keeps PM media work off the per-completion path; a crash
+    /// replays at most `interval` already-applied entries (idempotent).
+    pub async fn mark_done(&self, index: u64) -> RdmaResult<()> {
+        let state_addr = self.layout.slot_addr(index) + 32;
+        self.pm.cache_write(state_addr, &STATE_DONE.to_le_bytes())?;
+        self.done_window.borrow_mut().insert(index);
+        // Advance head over contiguous completions.
+        let mut head = self.cursor.head();
+        {
+            let mut window = self.done_window.borrow_mut();
+            while window.remove(&head) {
+                head += 1;
+            }
+        }
+        if head != self.cursor.head() {
+            self.cursor.set_head(head);
+            if head - self.persisted_head.get() >= self.head_persist_interval.get() {
+                let head_addr = self.layout.region.offset;
+                self.pm.cache_write(head_addr, &head.to_le_bytes())?;
+                self.pm.clflush(head_addr, 8).await?;
+                self.persisted_head.set(head);
+                self.cursor.set_durable_head(head);
+            }
+        }
+        Ok(())
+    }
+
+    /// Crash recovery: read the persistent head, scan forward collecting
+    /// valid entries, and return the **incomplete** ones in FIFO order.
+    /// Zero simulated time is charged here; callers account replay cost
+    /// themselves (see `recovery` module).
+    pub fn recover(&self) -> Vec<LogEntry> {
+        let head_bytes = self.pm.read_persistent_view(self.layout.region.offset, 8);
+        let head = u64_at(&head_bytes, 0);
+        let mut pending = Vec::new();
+        let mut idx = head;
+        while let Some(entry) = self.read_entry_from(idx, true) {
+            if !entry.done {
+                pending.push(entry);
+            }
+            idx += 1;
+            if idx - head >= self.layout.slots {
+                break; // full lap: everything seen
+            }
+        }
+        // Rebuild volatile cursors: tail = first invalid index.
+        self.cursor.reset(head, idx);
+        self.persisted_head.set(head);
+        self.done_window.borrow_mut().clear();
+        pending
+    }
+}
+
+fn u64_at(bytes: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(bytes[off..off + 8].try_into().expect("u64 slice"))
+}
+
+/// Client-side remote appender: composes entry images and writes them into
+/// the server's log ring over RDMA.
+pub struct RemoteLogWriter {
+    qp: Qp,
+    flush: FlushOps,
+    layout: LogLayout,
+    cursor: LogCursor,
+    /// Flow control: max outstanding entries before throttling (paper
+    /// Section 4.2: "the receiver should notify the sender to slow down").
+    throttle_threshold: u64,
+    throttle_backoff: SimDuration,
+}
+
+/// Receipt for an appended entry.
+pub struct Appended {
+    /// The entry's global index.
+    pub index: u64,
+    /// Flush probe target (last written byte).
+    pub probe: MemTarget,
+    /// Resolves when the entry's DMA lands (durable if DDIO is off).
+    pub token: PersistToken,
+}
+
+impl RemoteLogWriter {
+    /// Build a writer over `qp` appending into `layout`, flow-controlled by
+    /// the shared `cursor`.
+    pub fn new(
+        qp: Qp,
+        flush: FlushOps,
+        layout: LogLayout,
+        cursor: LogCursor,
+        throttle_threshold: u64,
+        throttle_backoff: SimDuration,
+    ) -> Self {
+        RemoteLogWriter {
+            qp,
+            flush,
+            layout,
+            cursor,
+            throttle_threshold,
+            throttle_backoff,
+        }
+    }
+
+    /// The flush operations bound to this writer's QP.
+    pub fn flush(&self) -> &FlushOps {
+        &self.flush
+    }
+
+    /// The log geometry.
+    pub fn layout(&self) -> &LogLayout {
+        &self.layout
+    }
+
+    /// Throttle while the server is saturated: the paper's flow control —
+    /// when outstanding entries exceed the threshold the sender briefly
+    /// pauses new RPCs.
+    pub async fn flow_control(&self) {
+        // Hard bound: never reuse a slot that is not durably trimmed —
+        // recovery scans from the durable head, so overwriting beyond it
+        // could hide live entries after a ring wrap.
+        let hard = self.layout.slots - 1;
+        loop {
+            let throttled = self.cursor.outstanding() >= self.throttle_threshold.min(hard);
+            let wrap_unsafe = self.cursor.tail() - self.cursor.durable_head() >= hard;
+            if !throttled && !wrap_unsafe {
+                return;
+            }
+            self.qp.local().handle().sleep(self.throttle_backoff).await;
+        }
+    }
+
+    /// Append via one-sided RDMA write (WFlush / W-RFlush RPC families).
+    /// Returns once the sender's WC fires (data in remote SRAM); call
+    /// [`FlushOps::wflush`] on `probe` (or await a receiver ACK) for
+    /// durability.
+    pub async fn append_write(&self, op: RpcOperator, data: &Payload) -> RdmaResult<Appended> {
+        assert!(
+            data.len() <= self.layout.max_payload(),
+            "payload {} exceeds slot capacity {}",
+            data.len(),
+            self.layout.max_payload()
+        );
+        self.flow_control().await;
+        let index = self.cursor.advance_tail();
+        let image = encode_entry(index, op, data);
+        let token = self
+            .qp
+            .write(MemTarget::Pm(self.layout.slot_addr(index)), image)
+            .await?;
+        Ok(Appended {
+            index,
+            probe: MemTarget::Pm(self.layout.probe_addr(index, data.len())),
+            token,
+        })
+    }
+
+    /// Doorbell-batched appends (paper Fig. 19 / Section 4.3): `k` entries
+    /// posted with one doorbell, pipelined on the wire, single coalesced
+    /// RC ACK. Flush once on the last receipt's probe.
+    pub async fn append_write_batch(
+        &self,
+        items: Vec<(RpcOperator, Payload)>,
+    ) -> RdmaResult<Vec<Appended>> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.flow_control().await;
+        let mut writes = Vec::with_capacity(items.len());
+        let mut metas = Vec::with_capacity(items.len());
+        for (op, data) in items {
+            assert!(data.len() <= self.layout.max_payload(), "payload too large");
+            let index = self.cursor.advance_tail();
+            let image = encode_entry(index, op, &data);
+            writes.push((MemTarget::Pm(self.layout.slot_addr(index)), image));
+            metas.push((index, data.len()));
+        }
+        let tokens = self.qp.write_batch(writes).await?;
+        Ok(metas
+            .into_iter()
+            .zip(tokens)
+            .map(|((index, len), token)| Appended {
+                index,
+                probe: MemTarget::Pm(self.layout.probe_addr(index, len)),
+                token,
+            })
+            .collect())
+    }
+
+    /// Append via two-sided RDMA send (SFlush / S-RFlush RPC families).
+    /// The server must keep recv buffers posted at the upcoming slots (the
+    /// model of the RNIC resolving the destination address itself).
+    pub async fn append_send(&self, op: RpcOperator, data: &Payload) -> RdmaResult<Appended> {
+        assert!(data.len() <= self.layout.max_payload(), "payload too large");
+        self.flow_control().await;
+        let index = self.cursor.advance_tail();
+        let image = encode_entry(index, op, data);
+        let token = self.qp.send(image).await?;
+        Ok(Appended {
+            index,
+            probe: MemTarget::Pm(self.layout.probe_addr(index, data.len())),
+            token,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flush::FlushImpl;
+    use prdma_node::{Cluster, ClusterConfig};
+    use prdma_rnic::QpMode;
+    use prdma_simnet::Sim;
+
+    fn fixture(sim: &Sim) -> (RemoteLogWriter, RedoLog, Cluster) {
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(2));
+        let server = cluster.node(0);
+        let region = server.alloc.alloc("log", LOG_HEADER_BYTES + 8 * 1024, 64).unwrap();
+        let layout = LogLayout::new(region, 1024);
+        let cursor = LogCursor::new();
+        let (qc, _qs) = cluster.connect(1, 0, QpMode::Rc);
+        let writer = RemoteLogWriter::new(
+            qc.clone(),
+            FlushOps::new(qc, FlushImpl::Emulated),
+            layout,
+            cursor.clone(),
+            64,
+            SimDuration::from_micros(5),
+        );
+        let log = RedoLog::new(server.pm.clone(), layout, cursor);
+        // Tests assert exact recovery sets; persist the head eagerly.
+        log.set_head_persist_interval(1);
+        (writer, log, cluster)
+    }
+
+    fn put(obj: u64) -> RpcOperator {
+        RpcOperator {
+            opcode: OpCode::Put,
+            obj_id: obj,
+        }
+    }
+
+    #[test]
+    fn append_then_read_roundtrip() {
+        let mut sim = Sim::new(1);
+        let (writer, log, _c) = fixture(&sim);
+        sim.block_on(async move {
+            let data = Payload::from_bytes(b"hello log".to_vec());
+            let a = writer.append_write(put(7), &data).await.unwrap();
+            writer.flush().wflush(a.probe).await.unwrap();
+            let e = log.read_entry(a.index).expect("entry valid");
+            assert_eq!(e.op, put(7));
+            assert_eq!(e.payload, b"hello log");
+            assert!(!e.done);
+        });
+    }
+
+    #[test]
+    fn entry_survives_crash_after_flush_ack() {
+        let mut sim = Sim::new(1);
+        let (writer, log, cluster) = fixture(&sim);
+        let node = cluster.node(0).clone();
+        sim.block_on(async move {
+            let a = writer
+                .append_write(put(1), &Payload::from_bytes(vec![0xCD; 100]))
+                .await
+                .unwrap();
+            writer.flush().wflush(a.probe).await.unwrap();
+            // Power failure after the flush ACK.
+            node.crash();
+            node.restart();
+            let pending = log.recover();
+            assert_eq!(pending.len(), 1);
+            assert_eq!(pending[0].op, put(1));
+            assert_eq!(pending[0].payload, vec![0xCD; 100]);
+        });
+    }
+
+    #[test]
+    fn unflushed_entry_may_be_lost_but_never_torn() {
+        let mut sim = Sim::new(1);
+        let (writer, log, cluster) = fixture(&sim);
+        let node = cluster.node(0).clone();
+        sim.block_on(async move {
+            // Crash immediately after the WC, before any flush: the entry
+            // may be in RNIC SRAM only.
+            let a = writer
+                .append_write(put(2), &Payload::from_bytes(vec![1; 64]))
+                .await
+                .unwrap();
+            drop(a);
+            node.crash();
+            node.restart();
+            let pending = log.recover();
+            // Either fully there or fully absent; a torn entry would have
+            // been returned with a mismatched commit word (read_entry
+            // rejects it).
+            assert!(pending.len() <= 1);
+            for e in pending {
+                assert_eq!(e.payload, vec![1; 64]);
+            }
+        });
+    }
+
+    #[test]
+    fn mark_done_excludes_from_recovery_and_advances_head() {
+        let mut sim = Sim::new(1);
+        let (writer, log, cluster) = fixture(&sim);
+        let node = cluster.node(0).clone();
+        sim.block_on(async move {
+            let mut receipts = Vec::new();
+            for i in 0..3u64 {
+                let a = writer
+                    .append_write(put(i), &Payload::from_bytes(vec![i as u8; 32]))
+                    .await
+                    .unwrap();
+                writer.flush().wflush(a.probe).await.unwrap();
+                receipts.push(a);
+            }
+            log.mark_done(receipts[0].index).await.unwrap();
+            log.mark_done(receipts[1].index).await.unwrap();
+            assert_eq!(log.cursor().head(), 2);
+            node.crash();
+            node.restart();
+            let pending = log.recover();
+            assert_eq!(pending.len(), 1);
+            assert_eq!(pending[0].op.obj_id, 2);
+        });
+    }
+
+    #[test]
+    fn out_of_order_completion_holds_head_back() {
+        let mut sim = Sim::new(1);
+        let (writer, log, _c) = fixture(&sim);
+        sim.block_on(async move {
+            for i in 0..3u64 {
+                let a = writer
+                    .append_write(put(i), &Payload::from_bytes(vec![0; 8]))
+                    .await
+                    .unwrap();
+                writer.flush().wflush(a.probe).await.unwrap();
+            }
+            // Complete 1 then 2; head must stay at 0 until 0 completes.
+            log.mark_done(1).await.unwrap();
+            log.mark_done(2).await.unwrap();
+            assert_eq!(log.cursor().head(), 0);
+            log.mark_done(0).await.unwrap();
+            assert_eq!(log.cursor().head(), 3);
+        });
+    }
+
+    #[test]
+    fn ring_wraps_and_recovery_stops_at_stale_lap() {
+        let mut sim = Sim::new(1);
+        let (writer, log, cluster) = fixture(&sim);
+        let node = cluster.node(0).clone();
+        // 8 slots; append 11 entries, completing the first 8 so the ring
+        // can wrap; entries 8..10 stay pending.
+        sim.block_on(async move {
+            assert_eq!(log.layout().slots, 8);
+            for i in 0..11u64 {
+                let a = writer
+                    .append_write(put(i), &Payload::from_bytes(vec![i as u8; 16]))
+                    .await
+                    .unwrap();
+                writer.flush().wflush(a.probe).await.unwrap();
+                if i < 8 {
+                    log.mark_done(i).await.unwrap();
+                }
+            }
+            node.crash();
+            node.restart();
+            let pending = log.recover();
+            assert_eq!(
+                pending.iter().map(|e| e.op.obj_id).collect::<Vec<_>>(),
+                vec![8, 9, 10]
+            );
+        });
+    }
+
+    #[test]
+    fn flow_control_throttles_at_threshold() {
+        let mut sim = Sim::new(1);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(2));
+        let server = cluster.node(0);
+        let region = server
+            .alloc
+            .alloc("log", LOG_HEADER_BYTES + 64 * 1024, 64)
+            .unwrap();
+        let layout = LogLayout::new(region, 1024);
+        let cursor = LogCursor::new();
+        let (qc, _qs) = cluster.connect(1, 0, QpMode::Rc);
+        let writer = RemoteLogWriter::new(
+            qc.clone(),
+            FlushOps::new(qc, FlushImpl::Emulated),
+            layout,
+            cursor.clone(),
+            4, // throttle at 4 outstanding
+            SimDuration::from_micros(50),
+        );
+        // The server "completes" the first entry only at t = 300us.
+        {
+            let cursor = cursor.clone();
+            let h = sim.handle();
+            sim.spawn(async move {
+                h.sleep(SimDuration::from_micros(300)).await;
+                let tail = cursor.tail();
+                cursor.reset(1, tail);
+            });
+        }
+        let h = sim.handle();
+        let t = sim.block_on(async move {
+            for _ in 0..5 {
+                let a = writer
+                    .append_write(put(0), &Payload::synthetic(64, 0))
+                    .await
+                    .unwrap();
+                writer.flush().wflush(a.probe).await.unwrap();
+            }
+            h.now()
+        });
+        // The 5th append hits the threshold and must wait for the server's
+        // completion at 300us before proceeding.
+        assert!(t.as_nanos() >= 300_000, "no throttling observed: {t}");
+    }
+
+    #[test]
+    fn encode_entry_sizes_are_consistent() {
+        let data = Payload::synthetic(100, 5);
+        let image = encode_entry(3, put(9), &data);
+        assert_eq!(
+            image.len(),
+            ENTRY_HEADER + align8(100) + ENTRY_FOOTER
+        );
+        assert_eq!(LogLayout::commit_offset(100), ENTRY_HEADER + 104);
+    }
+}
+
+#[cfg(test)]
+mod torn_entry_tests {
+    use super::*;
+    use prdma_node::{Cluster, ClusterConfig};
+    use prdma_simnet::Sim;
+
+    /// Hand-craft a torn entry — valid header, data, but a corrupt commit
+    /// word — directly in PM: recovery must treat the slot as invalid and
+    /// stop the scan there (never replaying garbage).
+    #[test]
+    fn torn_commit_word_is_never_replayed() {
+        let mut sim = Sim::new(71);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(1));
+        let server = cluster.node(0);
+        let region = server
+            .alloc
+            .alloc("log", LOG_HEADER_BYTES + 8 * 1024, 64)
+            .unwrap();
+        let layout = LogLayout::new(region, 1024);
+        let log = RedoLog::new(server.pm.clone(), layout, LogCursor::new());
+        let pm = server.pm.clone();
+        sim.block_on(async move {
+            // Entry 0: fully valid.
+            let img = encode_entry(
+                0,
+                RpcOperator {
+                    opcode: OpCode::Put,
+                    obj_id: 1,
+                },
+                &Payload::from_bytes(vec![0xAA; 32]),
+            );
+            pm.simulate_write_time(img.len()).await;
+            for (off, bytes) in img.inline_parts() {
+                pm.commit_persistent(layout.slot_addr(0) + off, bytes).unwrap();
+            }
+            // Entry 1: torn — header + data landed, commit word did not
+            // (the DMA was cut by the power failure before its last 8B).
+            let img = encode_entry(
+                1,
+                RpcOperator {
+                    opcode: OpCode::Put,
+                    obj_id: 2,
+                },
+                &Payload::from_bytes(vec![0xBB; 32]),
+            );
+            let parts = img.inline_parts();
+            // Write all but the final 8 bytes of the last part.
+            for (i, (off, bytes)) in parts.iter().enumerate() {
+                let bytes = if i + 1 == parts.len() {
+                    &bytes[..bytes.len() - 8]
+                } else {
+                    bytes
+                };
+                pm.commit_persistent(layout.slot_addr(1) + off, bytes).unwrap();
+            }
+            // Entry 2: fully valid — but unreachable past the tear.
+            let img = encode_entry(
+                2,
+                RpcOperator {
+                    opcode: OpCode::Put,
+                    obj_id: 3,
+                },
+                &Payload::from_bytes(vec![0xCC; 32]),
+            );
+            for (off, bytes) in img.inline_parts() {
+                pm.commit_persistent(layout.slot_addr(2) + off, bytes).unwrap();
+            }
+        });
+        let pending = log.recover();
+        // Only entry 0 is replayable: the torn entry is rejected and the
+        // FIFO scan cannot skip past it (ordering guarantee).
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].op.obj_id, 1);
+        assert_eq!(pending[0].payload, vec![0xAA; 32]);
+    }
+
+    /// A stale entry from a previous ring lap (valid commit for an OLD
+    /// index) must not be accepted for the current index.
+    #[test]
+    fn stale_lap_commit_rejected() {
+        let mut sim = Sim::new(72);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(1));
+        let server = cluster.node(0);
+        let region = server
+            .alloc
+            .alloc("log", LOG_HEADER_BYTES + 8 * 1024, 64)
+            .unwrap();
+        let layout = LogLayout::new(region, 1024);
+        let slots = layout.slots;
+        let log = RedoLog::new(server.pm.clone(), layout, LogCursor::new());
+        let pm = server.pm.clone();
+        sim.block_on(async move {
+            // Slot 0 holds an entry committed for index 0 (lap 0)...
+            let img = encode_entry(
+                0,
+                RpcOperator {
+                    opcode: OpCode::Put,
+                    obj_id: 1,
+                },
+                &Payload::from_bytes(vec![1; 16]),
+            );
+            for (off, bytes) in img.inline_parts() {
+                pm.commit_persistent(layout.slot_addr(0) + off, bytes).unwrap();
+            }
+            // ...but the durable head says we are already at lap 1.
+            pm.commit_persistent(layout.region.offset, &slots.to_le_bytes())
+                .unwrap();
+        });
+        // Scanning from index `slots` at slot 0: seq 0 != slots → invalid.
+        let pending = log.recover();
+        assert!(pending.is_empty(), "stale-lap entry replayed: {pending:?}");
+    }
+}

@@ -1,0 +1,208 @@
+//! The application-level RPC interface shared by the durable RPCs and all
+//! nine baseline systems, so experiments can sweep systems uniformly.
+
+use std::future::Future;
+use std::pin::Pin;
+
+use prdma_rnic::{Payload, RdmaError};
+use prdma_simnet::SimDuration;
+
+/// An application request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Durably store `data` under `obj`.
+    Put {
+        /// Object id.
+        obj: u64,
+        /// Object contents.
+        data: Payload,
+    },
+    /// Fetch `len` bytes of `obj`.
+    Get {
+        /// Object id.
+        obj: u64,
+        /// Bytes to fetch.
+        len: u64,
+    },
+    /// Range query: `count` objects starting at `start` (YCSB workload E).
+    Scan {
+        /// First object id.
+        start: u64,
+        /// Number of objects.
+        count: u32,
+        /// Bytes per object.
+        len: u64,
+    },
+}
+
+impl Request {
+    /// Whether this request mutates state (and thus needs durability).
+    pub fn is_write(&self) -> bool {
+        matches!(self, Request::Put { .. })
+    }
+
+    /// Payload bytes moved by this request.
+    pub fn transfer_len(&self) -> u64 {
+        match self {
+            Request::Put { data, .. } => data.len(),
+            Request::Get { len, .. } => *len,
+            Request::Scan { count, len, .. } => *count as u64 * *len,
+        }
+    }
+}
+
+/// An application response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Returned payload (Get/Scan).
+    pub payload: Option<Payload>,
+    /// True iff the request's effects were durable in the remote PM at the
+    /// moment this response became visible to the caller. For the durable
+    /// RPCs this is the whole point: it is true even though RPC
+    /// *processing* may still be in flight.
+    pub durable: bool,
+}
+
+/// RPC-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// Transport failure.
+    Rdma(RdmaError),
+    /// The server is down.
+    ServerDown,
+    /// Request shape not supported by this system (e.g. FaSST 4 KB MTU).
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Rdma(e) => write!(f, "rdma: {e}"),
+            RpcError::ServerDown => write!(f, "server down"),
+            RpcError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<RdmaError> for RpcError {
+    fn from(e: RdmaError) -> Self {
+        match e {
+            RdmaError::Disconnected => RpcError::ServerDown,
+            other => RpcError::Rdma(other),
+        }
+    }
+}
+
+/// Result alias for RPC calls.
+pub type RpcResult<T> = Result<T, RpcError>;
+
+/// Boxed future for object-safe async calls (single-threaded executor, so
+/// no `Send` bound).
+pub type RpcFuture<'a> = Pin<Box<dyn Future<Output = RpcResult<Response>> + 'a>>;
+
+/// Boxed future for batched calls.
+pub type RpcBatchFuture<'a> = Pin<Box<dyn Future<Output = RpcResult<Vec<Response>>> + 'a>>;
+
+/// A client endpoint of some RPC system. Object-safe so the experiment
+/// harness can sweep heterogeneous systems.
+pub trait RpcClient {
+    /// Issue one request and await the response the way this system's
+    /// completion semantics define it (for the paper's durable RPCs, a
+    /// `Put` resolves at *persistence visibility*, not at processing
+    /// completion).
+    fn call(&self, req: Request) -> RpcFuture<'_>;
+
+    /// Issue a batch of requests (paper Fig. 19). The default runs them
+    /// sequentially; systems with doorbell batching (DaRPC, ScaleRPC, the
+    /// durable RPCs) override this to amortize post costs and coalesce
+    /// flushes/ACKs.
+    fn call_batch(&self, reqs: Vec<Request>) -> RpcBatchFuture<'_> {
+        Box::pin(async move {
+            let mut out = Vec::with_capacity(reqs.len());
+            for req in reqs {
+                out.push(self.call(req).await?);
+            }
+            Ok(out)
+        })
+    }
+
+    /// Human-readable system name (tables, plots).
+    fn name(&self) -> &'static str;
+}
+
+/// Server-side behaviour knobs shared by every system.
+#[derive(Debug, Clone)]
+pub struct ServerProfile {
+    /// Extra per-RPC processing time at the receiver (the paper injects
+    /// 100 µs to model "heavy load" real-world RPC work; 0 = light load).
+    pub processing_time: SimDuration,
+    /// Worker threads processing RPCs (bounded by CPU cores at runtime).
+    pub worker_threads: usize,
+}
+
+impl Default for ServerProfile {
+    fn default() -> Self {
+        ServerProfile {
+            processing_time: SimDuration::ZERO,
+            worker_threads: 8,
+        }
+    }
+}
+
+impl ServerProfile {
+    /// The paper's heavy-load profile: +100 µs processing per RPC.
+    pub fn heavy() -> Self {
+        ServerProfile {
+            processing_time: SimDuration::from_micros(100),
+            ..Default::default()
+        }
+    }
+
+    /// The paper's light-load profile: pure read/write serving.
+    pub fn light() -> Self {
+        ServerProfile::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_classification() {
+        assert!(Request::Put {
+            obj: 0,
+            data: Payload::synthetic(10, 0)
+        }
+        .is_write());
+        assert!(!Request::Get { obj: 0, len: 10 }.is_write());
+        assert_eq!(
+            Request::Scan {
+                start: 0,
+                count: 4,
+                len: 100
+            }
+            .transfer_len(),
+            400
+        );
+    }
+
+    #[test]
+    fn profiles_match_paper() {
+        assert_eq!(
+            ServerProfile::heavy().processing_time,
+            SimDuration::from_micros(100)
+        );
+        assert_eq!(ServerProfile::light().processing_time, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn error_conversion_maps_disconnect() {
+        assert_eq!(
+            RpcError::from(RdmaError::Disconnected),
+            RpcError::ServerDown
+        );
+    }
+}

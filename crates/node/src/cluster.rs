@@ -1,0 +1,240 @@
+//! Node assembly and cluster construction.
+
+use prdma_pmem::{DaxAllocator, PmConfig, PmDevice, VolatileMemory};
+use prdma_rnic::{Fabric, NodeId, Qp, QpMode, Rnic, RnicConfig};
+use prdma_simnet::SimHandle;
+
+use crate::cpu::{CpuConfig, CpuModel};
+
+/// Configuration for a whole cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes (node 0 is conventionally the server).
+    pub nodes: usize,
+    /// RNIC/fabric parameters shared by all nodes.
+    pub rnic: RnicConfig,
+    /// PM device parameters per node.
+    pub pm: PmConfig,
+    /// CPU parameters per node.
+    pub cpu: CpuConfig,
+    /// DRAM capacity per node in bytes.
+    pub dram_capacity: u64,
+    /// PM capacity for client nodes (node index > 0). Clients only need a
+    /// scratch region; keeping this small lets experiments with dozens of
+    /// senders stay light on host memory.
+    pub client_pm_capacity: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 2,
+            rnic: RnicConfig::default(),
+            pm: PmConfig::default(),
+            cpu: CpuConfig::default(),
+            dram_capacity: 64 * 1024 * 1024,
+            client_pm_capacity: 2 * 1024 * 1024,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A cluster of `nodes` nodes with default hardware.
+    pub fn with_nodes(nodes: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            ..Default::default()
+        }
+    }
+}
+
+/// One server: CPU + DRAM + PM + RNIC, with a DAX allocator over the PM.
+#[derive(Clone)]
+pub struct Node {
+    /// Fabric identity.
+    pub id: NodeId,
+    /// Persistent memory device.
+    pub pm: PmDevice,
+    /// DRAM (message buffers, application memory).
+    pub dram: VolatileMemory,
+    /// Core pool.
+    pub cpu: CpuModel,
+    /// DAX region allocator over `pm`.
+    pub alloc: DaxAllocator,
+    rnic: Rnic,
+}
+
+impl Node {
+    /// The node's RNIC.
+    pub fn rnic(&self) -> &Rnic {
+        &self.rnic
+    }
+
+    /// Crash this node: RNIC SRAM, DRAM, and dirty LLC lines are lost;
+    /// persisted PM survives. The node stays down until [`restart`].
+    ///
+    /// [`restart`]: Node::restart
+    pub fn crash(&self) {
+        self.rnic.crash();
+    }
+
+    /// Bring the node back up.
+    pub fn restart(&self) {
+        self.rnic.restart();
+    }
+
+    /// Whether the node is up.
+    pub fn is_up(&self) -> bool {
+        self.rnic.is_up()
+    }
+}
+
+/// A set of nodes on one fabric.
+pub struct Cluster {
+    handle: SimHandle,
+    fabric: Fabric,
+    nodes: Vec<Node>,
+}
+
+impl Cluster {
+    /// Build a cluster per `cfg`.
+    pub fn new(handle: SimHandle, cfg: ClusterConfig) -> Self {
+        let fabric = Fabric::new(handle.clone(), cfg.rnic.clone());
+        let mut nodes = Vec::with_capacity(cfg.nodes);
+        for i in 0..cfg.nodes {
+            let pm_cfg = if i == 0 {
+                cfg.pm.clone()
+            } else {
+                PmConfig {
+                    capacity: cfg.client_pm_capacity,
+                    ..cfg.pm.clone()
+                }
+            };
+            let pm = PmDevice::new(handle.clone(), pm_cfg);
+            let dram = VolatileMemory::new(cfg.dram_capacity);
+            let id = fabric.add_node(pm.clone(), dram.clone());
+            let cpu = CpuModel::new(handle.clone(), cfg.cpu.clone());
+            let alloc = DaxAllocator::new(&pm);
+            nodes.push(Node {
+                id,
+                pm,
+                dram,
+                cpu,
+                alloc,
+                rnic: fabric.rnic(id),
+            });
+        }
+        Cluster {
+            handle,
+            fabric,
+            nodes,
+        }
+    }
+
+    /// The simulation handle.
+    pub fn handle(&self) -> &SimHandle {
+        &self.handle
+    }
+
+    /// The underlying fabric (links, background traffic).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Node `i`.
+    pub fn node(&self, i: usize) -> &Node {
+        &self.nodes[i]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Connect nodes `a` and `b` with a QP pair; the client-side QP (first
+    /// element) posts through node `a`'s core pool so sender CPU load
+    /// affects verb-post latency.
+    pub fn connect(&self, a: usize, b: usize, mode: QpMode) -> (Qp, Qp) {
+        let (qa, qb) = self
+            .fabric
+            .connect(self.nodes[a].id, self.nodes[b].id, mode);
+        qa.set_sender_cpu(self.nodes[a].cpu.cores().clone());
+        (qa, qb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prdma_rnic::{MemTarget, Payload};
+    use prdma_simnet::Sim;
+
+    #[test]
+    fn cluster_builds_and_connects() {
+        let mut sim = Sim::new(1);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(3));
+        assert_eq!(cluster.len(), 3);
+        let (qc, _qs) = cluster.connect(1, 0, QpMode::Rc);
+        let server_pm = cluster.node(0).pm.clone();
+        sim.block_on(async move {
+            let tok = qc
+                .write(MemTarget::Pm(0), Payload::from_bytes(vec![7; 32]))
+                .await
+                .unwrap();
+            assert!(tok.wait().await);
+        });
+        assert_eq!(server_pm.read_persistent_view(0, 32), vec![7; 32]);
+    }
+
+    #[test]
+    fn node_crash_and_restart_cycle() {
+        let sim = Sim::new(1);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::default());
+        let n = cluster.node(0);
+        assert!(n.is_up());
+        n.crash();
+        assert!(!n.is_up());
+        n.restart();
+        assert!(n.is_up());
+    }
+
+    #[test]
+    fn sender_cpu_contention_delays_posts() {
+        let run = |busy: bool| {
+            let mut sim = Sim::new(3);
+            let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(2));
+            if busy {
+                cluster.node(1).cpu.make_busy();
+                // saturate the last core too with periodic work
+                let cpu = cluster.node(1).cpu.clone();
+                let h = sim.handle();
+                sim.spawn(async move {
+                    loop {
+                        cpu.compute(prdma_simnet::SimDuration::from_micros(40)).await;
+                        h.sleep(prdma_simnet::SimDuration::from_micros(2)).await;
+                    }
+                });
+            }
+            let (qc, _qs) = cluster.connect(1, 0, QpMode::Rc);
+            let h = sim.handle();
+            sim.block_on(async move {
+                h.sleep(prdma_simnet::SimDuration::from_micros(5)).await;
+                let t0 = h.now();
+                for _ in 0..10 {
+                    qc.write(MemTarget::Pm(0), Payload::synthetic(1024, 0))
+                        .await
+                        .unwrap();
+                }
+                h.now() - t0
+            })
+        };
+        let idle = run(false);
+        let busy = run(true);
+        assert!(busy > idle, "busy {busy} vs idle {idle}");
+    }
+}

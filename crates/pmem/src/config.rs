@@ -1,0 +1,55 @@
+//! Timing configuration for the persistent-memory device model.
+
+use prdma_simnet::SimDuration;
+
+/// Calibrated timing/geometry parameters for one PM device.
+///
+/// Defaults approximate a bank of Intel Optane DC Persistent Memory DIMMs in
+/// App Direct mode (the paper's testbed: 1 TB per server): ~170 ns read
+/// latency, ~300 ns write latency to the persistence domain, ~30 GB/s read
+/// and ~8 GB/s aggregate write bandwidth.
+#[derive(Debug, Clone)]
+pub struct PmConfig {
+    /// Device capacity in bytes.
+    pub capacity: u64,
+    /// Media read latency (first access, uncached).
+    pub read_latency: SimDuration,
+    /// Media write latency (until the write is in the persistence domain).
+    pub write_latency: SimDuration,
+    /// Read bandwidth in Gbit/s.
+    pub read_gbps: f64,
+    /// Write bandwidth in Gbit/s (the well-known Optane write-bandwidth cap).
+    pub write_gbps: f64,
+    /// CPU cache line size in bytes.
+    pub cacheline: u64,
+    /// Per-line issue cost of `clflush`/`clwb` on the CPU, excluding the
+    /// media write it triggers.
+    pub clflush_issue: SimDuration,
+    /// Number of concurrent media ports (interleaved DIMMs behind one iMC).
+    pub media_ports: usize,
+}
+
+impl Default for PmConfig {
+    fn default() -> Self {
+        PmConfig {
+            capacity: 256 * 1024 * 1024, // plenty for the experiments
+            read_latency: SimDuration::from_nanos(170),
+            write_latency: SimDuration::from_nanos(300),
+            read_gbps: 240.0, // 30 GB/s
+            write_gbps: 96.0, // 12 GB/s (6 interleaved DIMMs, 1 TB config)
+            cacheline: 64,
+            clflush_issue: SimDuration::from_nanos(30),
+            media_ports: 6,
+        }
+    }
+}
+
+impl PmConfig {
+    /// A configuration with a custom capacity and default timings.
+    pub fn with_capacity(capacity: u64) -> Self {
+        PmConfig {
+            capacity,
+            ..Default::default()
+        }
+    }
+}

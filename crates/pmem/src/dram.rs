@@ -1,0 +1,89 @@
+//! Volatile DRAM model: instant byte access, contents lost on crash.
+//!
+//! Used for message buffers and application memory on nodes. Timing of DMA
+//! into DRAM is accounted by the RNIC's PCIe model; the store itself is
+//! free (DRAM bandwidth is never the bottleneck in these experiments).
+
+use std::cell::Cell;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A byte-addressable volatile memory.
+#[derive(Clone)]
+pub struct VolatileMemory {
+    bytes: Rc<RefCell<Vec<u8>>>,
+    epoch: Rc<Cell<u64>>,
+}
+
+impl VolatileMemory {
+    /// A zeroed memory of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        VolatileMemory {
+            bytes: Rc::new(RefCell::new(vec![0; capacity as usize])),
+            epoch: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.bytes.borrow().len() as u64
+    }
+
+    /// Write `data` at `addr`.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds access (volatile buffers are sized by the
+    /// protocol code that owns them).
+    pub fn write(&self, addr: u64, data: &[u8]) {
+        let mut b = self.bytes.borrow_mut();
+        let end = addr as usize + data.len();
+        assert!(end <= b.len(), "DRAM write out of bounds");
+        b[addr as usize..end].copy_from_slice(data);
+    }
+
+    /// Read `len` bytes at `addr`.
+    pub fn read(&self, addr: u64, len: u64) -> Vec<u8> {
+        let b = self.bytes.borrow();
+        let end = (addr + len) as usize;
+        assert!(end <= b.len(), "DRAM read out of bounds");
+        b[addr as usize..end].to_vec()
+    }
+
+    /// Crash: contents zeroed, epoch bumped (readers can detect loss).
+    pub fn crash(&self) {
+        self.bytes.borrow_mut().fill(0);
+        self.epoch.set(self.epoch.get() + 1);
+    }
+
+    /// Number of crashes this memory has been through.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let m = VolatileMemory::new(1024);
+        m.write(100, b"abc");
+        assert_eq!(m.read(100, 3), b"abc");
+    }
+
+    #[test]
+    fn crash_zeroes_and_bumps_epoch() {
+        let m = VolatileMemory::new(64);
+        m.write(0, b"x");
+        m.crash();
+        assert_eq!(m.read(0, 1), vec![0]);
+        assert_eq!(m.epoch(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_write_panics() {
+        VolatileMemory::new(8).write(7, b"ab");
+    }
+}

@@ -1,0 +1,470 @@
+//! The RNIC model: packet-processing engines, PCIe DMA engines, the
+//! volatile SRAM staging buffer, and the PCIe posted-write ordering that
+//! makes read-after-write flushing work.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use prdma_pmem::{PmDevice, VolatileMemory};
+use prdma_simnet::{FifoResource, Notify, SimDuration, SimHandle};
+
+use crate::config::RnicConfig;
+use crate::payload::Payload;
+
+/// Where a DMA lands on the receiving node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemTarget {
+    /// Persistent memory at this device offset.
+    Pm(u64),
+    /// DRAM (message buffers, application memory) at this offset.
+    Dram(u64),
+}
+
+/// Errors surfaced by RDMA operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RdmaError {
+    /// The remote node is down (crashed and not yet restarted).
+    Disconnected,
+    /// Payload exceeds the UD MTU (FaSST-style 4 KB transport limit).
+    MtuExceeded {
+        /// Payload size.
+        len: u64,
+        /// Transport MTU.
+        mtu: u64,
+    },
+    /// Underlying PM device error.
+    Pm(prdma_pmem::PmError),
+}
+
+impl std::fmt::Display for RdmaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RdmaError::Disconnected => write!(f, "remote node down"),
+            RdmaError::MtuExceeded { len, mtu } => {
+                write!(f, "payload {len} exceeds UD MTU {mtu}")
+            }
+            RdmaError::Pm(e) => write!(f, "PM error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RdmaError {}
+
+impl From<prdma_pmem::PmError> for RdmaError {
+    fn from(e: prdma_pmem::PmError) -> Self {
+        RdmaError::Pm(e)
+    }
+}
+
+/// Result alias for RDMA operations.
+pub type RdmaResult<T> = Result<T, RdmaError>;
+
+struct RnicInner {
+    handle: SimHandle,
+    cfg: RnicConfig,
+    pm: PmDevice,
+    dram: VolatileMemory,
+    /// Packet-processing engines (per-message fixed cost).
+    engine: FifoResource,
+    /// PCIe DMA engines.
+    dma: FifoResource,
+    /// Posted (in-flight) DMA writes, by monotonically increasing ticket;
+    /// PCIe ordering makes a read drain every write posted *before* it
+    /// (but not writes that arrive later — otherwise a flush under
+    /// constant traffic from other senders would never return).
+    next_dma_ticket: Cell<u64>,
+    active_dma: std::cell::RefCell<std::collections::BTreeSet<u64>>,
+    dma_drained: Notify,
+    /// Volatile staging-buffer occupancy (bytes currently not yet DMA'd).
+    sram_bytes: Cell<u64>,
+    sram_peak: Cell<u64>,
+    /// Liveness: false while the node is crashed.
+    up: Cell<bool>,
+    /// Incremented on every crash; lets protocols detect restarts.
+    epoch: Cell<u64>,
+    msgs_processed: Cell<u64>,
+}
+
+/// One RDMA NIC attached to a node's PM and DRAM. Cheap to clone.
+#[derive(Clone)]
+pub struct Rnic {
+    inner: Rc<RnicInner>,
+}
+
+impl Rnic {
+    /// Build an RNIC over the node's memories.
+    pub fn new(handle: SimHandle, cfg: RnicConfig, pm: PmDevice, dram: VolatileMemory) -> Self {
+        let engine = FifoResource::new(handle.clone(), cfg.nic_units.max(1));
+        let dma = FifoResource::new(handle.clone(), cfg.dma_units.max(1));
+        Rnic {
+            inner: Rc::new(RnicInner {
+                handle,
+                cfg,
+                pm,
+                dram,
+                engine,
+                dma,
+                next_dma_ticket: Cell::new(0),
+                active_dma: std::cell::RefCell::new(std::collections::BTreeSet::new()),
+                dma_drained: Notify::new(),
+                sram_bytes: Cell::new(0),
+                sram_peak: Cell::new(0),
+                up: Cell::new(true),
+                epoch: Cell::new(0),
+                msgs_processed: Cell::new(0),
+            }),
+        }
+    }
+
+    /// The configuration this RNIC was built with.
+    pub fn config(&self) -> &RnicConfig {
+        &self.inner.cfg
+    }
+
+    /// The node's PM device.
+    pub fn pm(&self) -> &PmDevice {
+        &self.inner.pm
+    }
+
+    /// The node's DRAM.
+    pub fn dram(&self) -> &VolatileMemory {
+        &self.inner.dram
+    }
+
+    /// The simulation handle.
+    pub fn handle(&self) -> &SimHandle {
+        &self.inner.handle
+    }
+
+    /// Occupy one packet-processing engine for the per-message cost.
+    pub async fn process_message(&self) {
+        self.inner.engine.process(self.inner.cfg.nic_process).await;
+        self.inner
+            .msgs_processed
+            .set(self.inner.msgs_processed.get() + 1);
+    }
+
+    /// Admit `len` payload bytes into the volatile SRAM staging buffer.
+    pub fn sram_admit(&self, len: u64) {
+        let now = self.inner.sram_bytes.get() + len;
+        self.inner.sram_bytes.set(now);
+        self.inner.sram_peak.set(self.inner.sram_peak.get().max(now));
+    }
+
+    /// Release staged bytes after DMA completes.
+    pub fn sram_release(&self, len: u64) {
+        let cur = self.inner.sram_bytes.get();
+        self.inner.sram_bytes.set(cur.saturating_sub(len));
+    }
+
+    /// Peak SRAM occupancy observed (bytes).
+    pub fn sram_peak(&self) -> u64 {
+        self.inner.sram_peak.get()
+    }
+
+    /// DMA a payload from SRAM to `target`, honoring the DDIO setting.
+    ///
+    /// Resolves when the data has left the NIC *and* — for PM targets with
+    /// DDIO disabled — reached the persistence domain. With DDIO enabled
+    /// the data lands in the (volatile) LLC and the CPU must `clflush` it.
+    ///
+    /// Returns `true` iff the bytes are durable when this resolves.
+    pub async fn dma_write(&self, target: MemTarget, payload: &Payload) -> RdmaResult<bool> {
+        let ticket = self.begin_pending_dma();
+        let result = self.dma_write_untracked(target, payload).await;
+        self.end_pending_dma(ticket);
+        result
+    }
+
+    /// Like [`dma_write`](Self::dma_write) but the caller manages the
+    /// posted-write markers ([`begin_pending_dma`](Self::begin_pending_dma)
+    /// / [`end_pending_dma`](Self::end_pending_dma)). Used by the QP layer,
+    /// which must mark the write as posted at packet-arrival time, before
+    /// the asynchronous DMA task gets scheduled.
+    pub async fn dma_write_untracked(
+        &self,
+        target: MemTarget,
+        payload: &Payload,
+    ) -> RdmaResult<bool> {
+        let len = payload.len();
+        let pcie = self.inner.cfg.pcie_latency
+            + prdma_simnet::transfer_time(len, self.inner.cfg.pcie_gbps);
+        self.dma_write_inner(target, payload, pcie).await
+    }
+
+    async fn dma_write_inner(
+        &self,
+        target: MemTarget,
+        payload: &Payload,
+        pcie: SimDuration,
+    ) -> RdmaResult<bool> {
+        // Power-failure semantics: if the node crashes while this DMA is in
+        // flight, the transfer is aborted and nothing reaches memory.
+        let epoch = self.inner.epoch.get();
+        self.inner.dma.process(pcie).await;
+        if self.inner.epoch.get() != epoch || !self.inner.up.get() {
+            return Ok(false);
+        }
+        match target {
+            MemTarget::Dram(addr) => {
+                for (off, bytes) in payload.inline_parts() {
+                    self.inner.dram.write(addr + off, bytes);
+                }
+                Ok(false)
+            }
+            MemTarget::Pm(addr) => {
+                if self.inner.cfg.ddio {
+                    // DDIO routes the DMA into the LLC: volatile.
+                    for (off, bytes) in payload.inline_parts() {
+                        self.inner.pm.cache_write(addr + off, bytes)?;
+                    }
+                    Ok(false)
+                } else {
+                    // Straight to the persistence domain: pay the media
+                    // time for the whole transfer, then place the content.
+                    // A crash during the media write aborts the whole
+                    // transfer (all-or-nothing; torn-entry behaviour is
+                    // tested separately by crafting partial images).
+                    self.inner.pm.simulate_write_time(payload.len()).await;
+                    if self.inner.epoch.get() != epoch || !self.inner.up.get() {
+                        return Ok(false);
+                    }
+                    for (off, bytes) in payload.inline_parts() {
+                        self.inner.pm.commit_persistent(addr + off, bytes)?;
+                    }
+                    Ok(true)
+                }
+            }
+        }
+    }
+
+    /// DMA-read `len` bytes from `target`.
+    ///
+    /// PCIe ordering: a read request drains all previously posted DMA
+    /// writes first — this is exactly the mechanism the paper's emulated
+    /// `WFlush` (read-after-write) exploits.
+    pub async fn dma_read(&self, target: MemTarget, len: u64, inline: bool) -> RdmaResult<Payload> {
+        self.drain_posted_writes().await;
+        let pcie = self.inner.cfg.pcie_latency
+            + prdma_simnet::transfer_time(len, self.inner.cfg.pcie_gbps);
+        self.inner.dma.process(pcie).await;
+        match target {
+            MemTarget::Dram(addr) => {
+                if inline {
+                    Ok(Payload::from_bytes(self.inner.dram.read(addr, len)))
+                } else {
+                    Ok(Payload::synthetic(len, 0))
+                }
+            }
+            MemTarget::Pm(addr) => {
+                if inline {
+                    let bytes = self.inner.pm.read(addr, len).await?;
+                    Ok(Payload::from_bytes(bytes))
+                } else {
+                    self.inner.pm.simulate_read_time(len).await;
+                    Ok(Payload::synthetic(len, 0))
+                }
+            }
+        }
+    }
+
+    /// PCIe fetch of a posted recv WQE (two-sided delivery prologue).
+    pub async fn fetch_recv_wqe(&self) {
+        self.inner.dma.process(self.inner.cfg.pcie_latency).await;
+    }
+
+    /// Mark the start of a posted DMA write; returns its ordering ticket.
+    pub fn begin_pending_dma(&self) -> u64 {
+        let t = self.inner.next_dma_ticket.get();
+        self.inner.next_dma_ticket.set(t + 1);
+        self.inner.active_dma.borrow_mut().insert(t);
+        t
+    }
+
+    /// Mark the end of a posted DMA write, releasing waiting reads.
+    pub fn end_pending_dma(&self, ticket: u64) {
+        self.inner.active_dma.borrow_mut().remove(&ticket);
+        // Wake every drain waiter: each re-checks its own barrier (a
+        // notify_one could wake a waiter whose barrier is not yet met,
+        // losing the wake another waiter needed).
+        self.inner.dma_drained.notify_all();
+    }
+
+    /// Wait until every DMA write posted *before now* has completed
+    /// (writes posted later do not delay this — PCIe ordering is a
+    /// barrier, not a quiescence requirement).
+    pub async fn drain_posted_writes(&self) {
+        let barrier = self.inner.next_dma_ticket.get();
+        loop {
+            let oldest = self.inner.active_dma.borrow().iter().next().copied();
+            match oldest {
+                Some(t) if t < barrier => {
+                    self.inner.dma_drained.notified().await;
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Whether the node is currently up.
+    pub fn is_up(&self) -> bool {
+        self.inner.up.get()
+    }
+
+    /// Crash the node: RNIC SRAM contents are lost, DRAM is cleared, PM
+    /// dirty cache lines are dropped. The node stays down until
+    /// [`restart`](Self::restart).
+    pub fn crash(&self) {
+        self.inner.up.set(false);
+        self.inner.epoch.set(self.inner.epoch.get() + 1);
+        self.inner.sram_bytes.set(0);
+        self.inner.pm.crash();
+        self.inner.dram.crash();
+    }
+
+    /// Bring the node back up after a crash.
+    pub fn restart(&self) {
+        self.inner.up.set(true);
+    }
+
+    /// Crash epoch (number of crashes so far).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.get()
+    }
+
+    /// Messages handled by the processing engines.
+    pub fn msgs_processed(&self) -> u64 {
+        self.inner.msgs_processed.get()
+    }
+
+    /// Fail with [`RdmaError::Disconnected`] if the node is down.
+    pub fn check_up(&self) -> RdmaResult<()> {
+        if self.inner.up.get() {
+            Ok(())
+        } else {
+            Err(RdmaError::Disconnected)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prdma_pmem::PmConfig;
+    use prdma_simnet::Sim;
+
+    fn rnic_fixture(sim: &Sim) -> Rnic {
+        let pm = PmDevice::new(sim.handle(), PmConfig::with_capacity(1 << 20));
+        let dram = VolatileMemory::new(1 << 20);
+        Rnic::new(sim.handle(), RnicConfig::default(), pm, dram)
+    }
+
+    #[test]
+    fn dma_write_to_pm_is_durable_without_ddio() {
+        let mut sim = Sim::new(1);
+        let nic = rnic_fixture(&sim);
+        let nic2 = nic.clone();
+        let durable = sim.block_on(async move {
+            nic2.dma_write(MemTarget::Pm(0), &Payload::from_bytes(vec![7; 128]))
+                .await
+                .unwrap()
+        });
+        assert!(durable);
+        assert_eq!(nic.pm().read_persistent_view(0, 128), vec![7; 128]);
+    }
+
+    #[test]
+    fn dma_write_with_ddio_is_volatile() {
+        let mut sim = Sim::new(1);
+        let pm = PmDevice::new(sim.handle(), PmConfig::with_capacity(1 << 20));
+        let dram = VolatileMemory::new(4096);
+        let nic = Rnic::new(sim.handle(), RnicConfig::with_ddio(), pm, dram);
+        let nic2 = nic.clone();
+        let durable = sim.block_on(async move {
+            nic2.dma_write(MemTarget::Pm(0), &Payload::from_bytes(vec![9; 64]))
+                .await
+                .unwrap()
+        });
+        assert!(!durable);
+        // visible to the CPU, not yet persistent
+        assert_eq!(nic.pm().read_volatile_view(0, 64), vec![9; 64]);
+        assert!(!nic.pm().is_persisted(0, 64));
+    }
+
+    #[test]
+    fn dma_read_drains_posted_writes() {
+        let mut sim = Sim::new(1);
+        let nic = rnic_fixture(&sim);
+        let h = sim.handle();
+        let nic_w = nic.clone();
+        let h2 = h.clone();
+        // A slow posted write in flight...
+        sim.spawn(async move {
+            let ticket = nic_w.begin_pending_dma();
+            h2.sleep(SimDuration::from_micros(50)).await;
+            nic_w.end_pending_dma(ticket);
+        });
+        let nic_r = nic.clone();
+        let t = sim.block_on(async move {
+            h.sleep(SimDuration::from_nanos(1)).await;
+            nic_r.dma_read(MemTarget::Pm(0), 1, false).await.unwrap();
+            h.now()
+        });
+        // The read could not start before the posted write finished at 50us.
+        assert!(t.as_nanos() >= 50_000, "read returned at {t}");
+    }
+
+    #[test]
+    fn crash_clears_memories_and_bumps_epoch() {
+        let mut sim = Sim::new(1);
+        let nic = rnic_fixture(&sim);
+        let nic2 = nic.clone();
+        sim.block_on(async move {
+            nic2.dma_write(MemTarget::Pm(0), &Payload::from_bytes(vec![1; 8]))
+                .await
+                .unwrap();
+        });
+        nic.dram().write(0, b"xx");
+        nic.pm().cache_write(512, b"dirty").unwrap();
+        nic.crash();
+        assert!(!nic.is_up());
+        assert_eq!(nic.epoch(), 1);
+        assert_eq!(nic.check_up(), Err(RdmaError::Disconnected));
+        // persisted PM survives; DRAM and dirty lines do not
+        assert_eq!(nic.pm().read_persistent_view(0, 8), vec![1; 8]);
+        assert_eq!(nic.dram().read(0, 2), vec![0, 0]);
+        assert!(nic.pm().is_persisted(512, 5)); // dirty line dropped
+        assert_eq!(nic.pm().read_volatile_view(512, 5), vec![0; 5]);
+        nic.restart();
+        assert!(nic.is_up());
+    }
+
+    #[test]
+    fn sram_accounting_tracks_peak() {
+        let sim = Sim::new(1);
+        let nic = rnic_fixture(&sim);
+        nic.sram_admit(1000);
+        nic.sram_admit(500);
+        nic.sram_release(1000);
+        nic.sram_admit(100);
+        assert_eq!(nic.sram_peak(), 1500);
+    }
+
+    #[test]
+    fn synthetic_payload_models_time_without_content() {
+        let mut sim = Sim::new(1);
+        let nic = rnic_fixture(&sim);
+        let h = sim.handle();
+        let nic2 = nic.clone();
+        let t = sim.block_on(async move {
+            nic2.dma_write(MemTarget::Pm(0), &Payload::synthetic(65536, 1))
+                .await
+                .unwrap();
+            h.now()
+        });
+        // 64 KiB at PCIe 128 Gbps (~4.1us) + PM write (~8.5us) + latencies
+        assert!(t.as_nanos() > 10_000, "t = {t}");
+        // contents untouched
+        assert_eq!(nic.pm().read_persistent_view(0, 8), vec![0; 8]);
+    }
+}

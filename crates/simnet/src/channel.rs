@@ -1,0 +1,336 @@
+//! Simulation-aware message channels.
+//!
+//! These are single-threaded (the executor never crosses threads) but fully
+//! async: a receiver blocked on an empty channel parks its task until a
+//! sender wakes it, all in virtual time.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// Error returned by [`Sender::send`] when every `Receiver` is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError;
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "channel closed: receiver dropped")
+    }
+}
+
+impl std::error::Error for SendError {}
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    recv_wakers: Vec<Waker>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+impl<T> ChanState<T> {
+    fn wake_receivers(&mut self) {
+        for w in self.recv_wakers.drain(..) {
+            w.wake();
+        }
+    }
+}
+
+/// Sending half of an unbounded channel; clonable.
+pub struct Sender<T> {
+    state: Rc<RefCell<ChanState<T>>>,
+}
+
+/// Receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    state: Rc<RefCell<ChanState<T>>>,
+}
+
+/// Create an unbounded mpsc channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let state = Rc::new(RefCell::new(ChanState {
+        queue: VecDeque::new(),
+        recv_wakers: Vec::new(),
+        senders: 1,
+        receiver_alive: true,
+    }));
+    (
+        Sender {
+            state: Rc::clone(&state),
+        },
+        Receiver { state },
+    )
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.state.borrow_mut().senders += 1;
+        Sender {
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.state.borrow_mut();
+        st.senders -= 1;
+        if st.senders == 0 {
+            st.wake_receivers();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.state.borrow_mut().receiver_alive = false;
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a message, waking a parked receiver. Never blocks.
+    pub fn send(&self, value: T) -> Result<(), SendError> {
+        let mut st = self.state.borrow_mut();
+        if !st.receiver_alive {
+            return Err(SendError);
+        }
+        st.queue.push_back(value);
+        st.wake_receivers();
+        Ok(())
+    }
+
+    /// Number of queued, undelivered messages.
+    pub fn queued(&self) -> usize {
+        self.state.borrow().queue.len()
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Await the next message; resolves to `None` once all senders are
+    /// dropped and the queue is drained.
+    pub fn recv(&mut self) -> Recv<'_, T> {
+        Recv { receiver: self }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Option<T> {
+        self.state.borrow_mut().queue.pop_front()
+    }
+
+    /// Number of queued, undelivered messages.
+    pub fn queued(&self) -> usize {
+        self.state.borrow().queue.len()
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct Recv<'a, T> {
+    receiver: &'a mut Receiver<T>,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let mut st = self.receiver.state.borrow_mut();
+        if let Some(v) = st.queue.pop_front() {
+            return Poll::Ready(Some(v));
+        }
+        if st.senders == 0 {
+            return Poll::Ready(None);
+        }
+        st.recv_wakers.push(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oneshot
+// ---------------------------------------------------------------------------
+
+struct OneshotState<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+    sender_alive: bool,
+}
+
+/// Sending half of a oneshot channel.
+pub struct OneshotSender<T> {
+    state: Rc<RefCell<OneshotState<T>>>,
+}
+
+/// Receiving half of a oneshot channel.
+pub struct OneshotReceiver<T> {
+    state: Rc<RefCell<OneshotState<T>>>,
+}
+
+/// Create a oneshot channel: a single value, sent once, awaited once.
+pub fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
+    let state = Rc::new(RefCell::new(OneshotState {
+        value: None,
+        waker: None,
+        sender_alive: true,
+    }));
+    (
+        OneshotSender {
+            state: Rc::clone(&state),
+        },
+        OneshotReceiver { state },
+    )
+}
+
+impl<T> OneshotSender<T> {
+    /// Deliver the value, waking the receiver. Consumes the sender.
+    pub fn send(self, value: T) {
+        let mut st = self.state.borrow_mut();
+        st.value = Some(value);
+        if let Some(w) = st.waker.take() {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Drop for OneshotSender<T> {
+    fn drop(&mut self) {
+        let mut st = self.state.borrow_mut();
+        st.sender_alive = false;
+        if let Some(w) = st.waker.take() {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Future for OneshotReceiver<T> {
+    /// `None` if the sender was dropped without sending.
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let mut st = self.state.borrow_mut();
+        if let Some(v) = st.value.take() {
+            return Poll::Ready(Some(v));
+        }
+        if !st.sender_alive {
+            return Poll::Ready(None);
+        }
+        st.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn send_then_recv() {
+        let mut sim = Sim::new(1);
+        let (tx, mut rx) = channel::<u32>();
+        let got = sim.block_on(async move {
+            tx.send(5).unwrap();
+            tx.send(6).unwrap();
+            (rx.recv().await, rx.recv().await)
+        });
+        assert_eq!(got, (Some(5), Some(6)));
+    }
+
+    #[test]
+    fn recv_parks_until_send() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let (tx, mut rx) = channel::<u64>();
+        let h2 = h.clone();
+        sim.spawn(async move {
+            h2.sleep(SimDuration::from_micros(50)).await;
+            tx.send(h2.now().as_nanos()).unwrap();
+        });
+        let got = sim.block_on(async move { rx.recv().await });
+        assert_eq!(got, Some(50_000));
+    }
+
+    #[test]
+    fn recv_returns_none_when_senders_dropped() {
+        let mut sim = Sim::new(1);
+        let (tx, mut rx) = channel::<u32>();
+        drop(tx);
+        let got = sim.block_on(async move { rx.recv().await });
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn queued_messages_survive_sender_drop() {
+        let mut sim = Sim::new(1);
+        let (tx, mut rx) = channel::<u32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        let got = sim.block_on(async move { (rx.recv().await, rx.recv().await) });
+        assert_eq!(got, (Some(1), None));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = channel::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError));
+    }
+
+    #[test]
+    fn clone_sender_keeps_channel_open() {
+        let mut sim = Sim::new(1);
+        let (tx, mut rx) = channel::<u32>();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(9).unwrap();
+        let got = sim.block_on(async move { rx.recv().await });
+        assert_eq!(got, Some(9));
+    }
+
+    #[test]
+    fn oneshot_roundtrip() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let (tx, rx) = oneshot::<&'static str>();
+        let h2 = h.clone();
+        sim.spawn(async move {
+            h2.sleep(SimDuration::from_micros(3)).await;
+            tx.send("done");
+        });
+        let got = sim.block_on(rx);
+        assert_eq!(got, Some("done"));
+    }
+
+    #[test]
+    fn oneshot_none_on_sender_drop() {
+        let mut sim = Sim::new(1);
+        let (tx, rx) = oneshot::<u8>();
+        drop(tx);
+        assert_eq!(sim.block_on(rx), None);
+    }
+
+    #[test]
+    fn multiple_receivers_via_mpsc_fan_in() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let (tx, mut rx) = channel::<u64>();
+        for i in 0..8u64 {
+            let tx = tx.clone();
+            let h2 = h.clone();
+            sim.spawn(async move {
+                h2.sleep(SimDuration::from_nanos(i * 10)).await;
+                tx.send(i).unwrap();
+            });
+        }
+        drop(tx);
+        let got = sim.block_on(async move {
+            let mut v = Vec::new();
+            while let Some(x) = rx.recv().await {
+                v.push(x);
+            }
+            v
+        });
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+}

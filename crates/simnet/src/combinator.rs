@@ -1,0 +1,188 @@
+//! Future combinators for simulated protocols: virtual-time timeouts and
+//! two-way select.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+use crate::executor::{SimHandle, Sleep};
+use crate::time::SimDuration;
+
+/// Error returned when a [`timeout`] deadline passes first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elapsed;
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Run `fut` for at most `dur` of virtual time.
+///
+/// On timeout the inner future is dropped (cancelling it — all simnet
+/// futures are cancel-safe by construction: their wakers are cleaned up
+/// on drop).
+pub fn timeout<F: Future>(handle: &SimHandle, dur: SimDuration, fut: F) -> Timeout<F> {
+    Timeout {
+        sleep: handle.sleep(dur),
+        fut: Some(fut),
+    }
+}
+
+/// Future returned by [`timeout`].
+pub struct Timeout<F> {
+    sleep: Sleep,
+    fut: Option<F>,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: we never move `fut` or `sleep` out of the pinned struct
+        // while they can still be polled; `fut` is dropped in place on
+        // timeout via Option::take after its last poll.
+        let this = unsafe { self.get_unchecked_mut() };
+        if let Some(fut) = this.fut.as_mut() {
+            let fut = unsafe { Pin::new_unchecked(fut) };
+            if let Poll::Ready(v) = fut.poll(cx) {
+                this.fut = None;
+                return Poll::Ready(Ok(v));
+            }
+        } else {
+            // Already resolved one way; stay terminal.
+            return Poll::Pending;
+        }
+        let sleep = unsafe { Pin::new_unchecked(&mut this.sleep) };
+        if sleep.poll(cx).is_ready() {
+            this.fut = None; // cancel the inner future
+            return Poll::Ready(Err(Elapsed));
+        }
+        Poll::Pending
+    }
+}
+
+/// Outcome of [`select2`].
+#[derive(Debug)]
+pub enum Either<A, B> {
+    /// The first future finished first.
+    Left(A),
+    /// The second future finished first.
+    Right(B),
+}
+
+/// Race two futures; the loser is dropped (cancelled).
+pub async fn select2<A: Future + Unpin, B: Future + Unpin>(
+    mut a: A,
+    mut b: B,
+) -> Either<A::Output, B::Output> {
+    std::future::poll_fn(move |cx| {
+        if let Poll::Ready(v) = Pin::new(&mut a).poll(cx) {
+            return Poll::Ready(Either::Left(v));
+        }
+        if let Poll::Ready(v) = Pin::new(&mut b).poll(cx) {
+            return Poll::Ready(Either::Right(v));
+        }
+        Poll::Pending
+    })
+    .await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::sync::Notify;
+
+    #[test]
+    fn timeout_passes_through_fast_futures() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let h2 = h.clone();
+        let out = sim.block_on(async move {
+            timeout(&h2, SimDuration::from_micros(100), async {
+                h2.sleep(SimDuration::from_micros(10)).await;
+                42
+            })
+            .await
+        });
+        assert_eq!(out, Ok(42));
+    }
+
+    #[test]
+    fn timeout_fires_on_slow_futures() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let h2 = h.clone();
+        let (out, t) = sim.block_on(async move {
+            let r = timeout(&h2, SimDuration::from_micros(5), async {
+                h2.sleep(SimDuration::from_micros(1_000)).await;
+                42
+            })
+            .await;
+            (r, h2.now())
+        });
+        assert_eq!(out, Err(Elapsed));
+        assert_eq!(t.as_nanos(), 5_000);
+    }
+
+    #[test]
+    fn timed_out_future_is_cancelled_not_leaked() {
+        // The cancelled sleeper must not keep the simulation alive much
+        // past its timer (its timer entry fires harmlessly).
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let h2 = h.clone();
+        sim.block_on(async move {
+            let _ = timeout(&h2, SimDuration::from_micros(5), async {
+                h2.sleep(SimDuration::from_secs(60)).await;
+            })
+            .await;
+        });
+        sim.run();
+        // The 60s timer still exists in the heap but wakes nothing.
+        assert!(sim.now().as_nanos() <= 60_000_000_000);
+    }
+
+    #[test]
+    fn timeout_on_notify_wait() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let n = Notify::new();
+        let n2 = n.clone();
+        let h2 = h.clone();
+        let out = sim.block_on(async move {
+            timeout(&h2, SimDuration::from_micros(50), async move {
+                n2.notified().await;
+                "notified"
+            })
+            .await
+        });
+        assert_eq!(out, Err(Elapsed));
+        // A later notify_one should not panic or wake ghosts.
+        n.notify_one();
+        sim.run();
+    }
+
+    #[test]
+    fn select2_returns_first_ready() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let h2 = h.clone();
+        let out = sim.block_on(async move {
+            let a = Box::pin(async {
+                h2.sleep(SimDuration::from_micros(10)).await;
+                "slow"
+            });
+            let b = Box::pin(async {
+                h2.sleep(SimDuration::from_micros(2)).await;
+                "fast"
+            });
+            select2(a, b).await
+        });
+        assert!(matches!(out, Either::Right("fast")));
+    }
+}

@@ -1,0 +1,597 @@
+//! The virtual-time async executor.
+//!
+//! A [`Sim`] owns a single-threaded task slab, a ready queue, and a timer
+//! heap keyed on virtual time. Tasks are ordinary Rust futures; awaiting
+//! [`SimHandle::sleep`] registers a timer instead of blocking, and the run
+//! loop advances the clock discretely to the next due timer whenever the
+//! ready queue drains. Identical seeds produce identical event orderings.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Queue of task ids made runnable by wakers.
+///
+/// Wakers must be `Send + Sync` by contract, so this is the only
+/// internally-synchronized structure in the executor; everything else is
+/// single-threaded `Rc`/`RefCell` state.
+#[derive(Default)]
+struct ReadyQueue {
+    queue: Mutex<VecDeque<usize>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: usize) {
+        self.queue.lock().expect("ready queue poisoned").push_back(id);
+    }
+
+    fn pop(&self) -> Option<usize> {
+        self.queue.lock().expect("ready queue poisoned").pop_front()
+    }
+}
+
+struct TaskWaker {
+    ready: Arc<ReadyQueue>,
+    id: usize,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+type BoxedTask = Pin<Box<dyn Future<Output = ()>>>;
+
+struct TaskSlot {
+    future: Option<BoxedTask>,
+    waker: Waker,
+}
+
+#[derive(PartialEq, Eq)]
+struct TimerEntry {
+    at: u64,
+    seq: u64,
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct SimInner {
+    now: Cell<u64>,
+    tasks: RefCell<Vec<Option<TaskSlot>>>,
+    free_slots: RefCell<Vec<usize>>,
+    live_tasks: Cell<usize>,
+    ready: Arc<ReadyQueue>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    timer_wakers: RefCell<Vec<(u64, Waker)>>,
+    timer_seq: Cell<u64>,
+    rng: RefCell<SmallRng>,
+    events: Cell<u64>,
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// ```
+/// use prdma_simnet::{Sim, SimDuration};
+///
+/// let mut sim = Sim::new(42);
+/// let h = sim.handle();
+/// let elapsed = sim.block_on(async move {
+///     h.sleep(SimDuration::from_micros(7)).await;
+///     h.now()
+/// });
+/// assert_eq!(elapsed.as_nanos(), 7_000);
+/// ```
+pub struct Sim {
+    inner: Rc<SimInner>,
+}
+
+/// A cheap, clonable handle to the simulation, usable inside tasks.
+#[derive(Clone)]
+pub struct SimHandle {
+    inner: Rc<SimInner>,
+}
+
+/// Handle to a spawned task's eventual result.
+///
+/// Awaiting it yields the task's output. Dropping it detaches the task
+/// (the task keeps running).
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut st = self.state.borrow_mut();
+        if let Some(v) = st.result.take() {
+            Poll::Ready(v)
+        } else {
+            st.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Whether the task has finished (result ready and not yet consumed).
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().result.is_some()
+    }
+}
+
+impl Sim {
+    /// Create a new simulation whose RNG is seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            inner: Rc::new(SimInner {
+                now: Cell::new(0),
+                tasks: RefCell::new(Vec::new()),
+                free_slots: RefCell::new(Vec::new()),
+                live_tasks: Cell::new(0),
+                ready: Arc::new(ReadyQueue::default()),
+                timers: RefCell::new(BinaryHeap::new()),
+                timer_wakers: RefCell::new(Vec::new()),
+                timer_seq: Cell::new(0),
+                rng: RefCell::new(SmallRng::seed_from_u64(seed)),
+                events: Cell::new(0),
+            }),
+        }
+    }
+
+    /// A handle for use inside tasks (clocks, sleeping, spawning, RNG).
+    pub fn handle(&self) -> SimHandle {
+        SimHandle {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.inner.now.get())
+    }
+
+    /// Total task polls executed so far (a determinism fingerprint).
+    pub fn events_processed(&self) -> u64 {
+        self.inner.events.get()
+    }
+
+    /// Spawn a root task; see [`SimHandle::spawn`].
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        self.handle().spawn(future)
+    }
+
+    /// Run the simulation until no runnable tasks or pending timers remain.
+    ///
+    /// Tasks still blocked on channels or semaphores at that point are
+    /// simply never scheduled again (they are dropped with the `Sim`).
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Drive `future` to completion and return its output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation runs out of events before the future
+    /// completes (a deadlock in simulated code).
+    pub fn block_on<F>(&mut self, future: F) -> F::Output
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let join = self.spawn(future);
+        while !join.is_finished() {
+            if !self.step() {
+                panic!(
+                    "simulation deadlock: block_on future not complete but no \
+                     runnable tasks or timers remain ({} live tasks blocked)",
+                    self.inner.live_tasks.get()
+                );
+            }
+        }
+        let mut st = join.state.borrow_mut();
+        st.result.take().expect("join state lost result")
+    }
+
+    /// Execute one scheduling step: poll a ready task, or advance the clock
+    /// to the next timer. Returns `false` once the event queue is exhausted.
+    fn step(&mut self) -> bool {
+        if let Some(id) = self.inner.ready.pop() {
+            self.poll_task(id);
+            return true;
+        }
+        // Ready queue empty: advance virtual time to the next timer.
+        let next = self.inner.timers.borrow_mut().pop();
+        if let Some(Reverse(entry)) = next {
+            debug_assert!(entry.at >= self.inner.now.get(), "timer in the past");
+            self.inner.now.set(entry.at.max(self.inner.now.get()));
+            // Wake every waker registered for this timer seq.
+            let mut wakers = self.inner.timer_wakers.borrow_mut();
+            let mut fired = Vec::new();
+            wakers.retain(|(seq, w)| {
+                if *seq == entry.seq {
+                    fired.push(w.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            drop(wakers);
+            for w in fired {
+                w.wake();
+            }
+            return true;
+        }
+        false
+    }
+
+    fn poll_task(&mut self, id: usize) {
+        // Take the future out of its slot so the task body may call
+        // spawn()/wakers re-entrantly without aliasing the slab borrow.
+        let (mut future, waker) = {
+            let mut tasks = self.inner.tasks.borrow_mut();
+            match tasks.get_mut(id).and_then(Option::as_mut) {
+                Some(slot) => match slot.future.take() {
+                    Some(f) => (f, slot.waker.clone()),
+                    // Already being polled or completed; stale wake.
+                    None => return,
+                },
+                None => return, // completed task, stale wake
+            }
+        };
+        self.inner.events.set(self.inner.events.get() + 1);
+        let mut cx = Context::from_waker(&waker);
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                let mut tasks = self.inner.tasks.borrow_mut();
+                tasks[id] = None;
+                self.inner.free_slots.borrow_mut().push(id);
+                self.inner.live_tasks.set(self.inner.live_tasks.get() - 1);
+            }
+            Poll::Pending => {
+                let mut tasks = self.inner.tasks.borrow_mut();
+                if let Some(slot) = tasks.get_mut(id).and_then(Option::as_mut) {
+                    slot.future = Some(future);
+                }
+            }
+        }
+    }
+}
+
+impl SimHandle {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.inner.now.get())
+    }
+
+    /// Spawn a task onto the simulation.
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let state = Rc::new(RefCell::new(JoinState {
+            result: None,
+            waker: None,
+        }));
+        let state2 = Rc::clone(&state);
+        let wrapped = async move {
+            let out = future.await;
+            let mut st = state2.borrow_mut();
+            st.result = Some(out);
+            if let Some(w) = st.waker.take() {
+                w.wake();
+            }
+        };
+
+        let id = {
+            let mut tasks = self.inner.tasks.borrow_mut();
+            if let Some(id) = self.inner.free_slots.borrow_mut().pop() {
+                debug_assert!(tasks[id].is_none());
+                id
+            } else {
+                tasks.push(None);
+                tasks.len() - 1
+            }
+        };
+        let waker = Waker::from(Arc::new(TaskWaker {
+            ready: Arc::clone(&self.inner.ready),
+            id,
+        }));
+        self.inner.tasks.borrow_mut()[id] = Some(TaskSlot {
+            future: Some(Box::pin(wrapped)),
+            waker,
+        });
+        self.inner.live_tasks.set(self.inner.live_tasks.get() + 1);
+        self.inner.ready.push(id);
+        JoinHandle { state }
+    }
+
+    /// Sleep for `dur` of virtual time.
+    pub fn sleep(&self, dur: SimDuration) -> Sleep {
+        self.sleep_until(self.now() + dur)
+    }
+
+    /// Sleep until the virtual instant `deadline`.
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            handle: self.clone(),
+            deadline: deadline.as_nanos(),
+            registered: false,
+        }
+    }
+
+    /// Yield to the scheduler without advancing time (cooperative point).
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { yielded: false }
+    }
+
+    /// Draw a uniformly random `u64`.
+    pub fn rng_u64(&self) -> u64 {
+        self.inner.rng.borrow_mut().gen()
+    }
+
+    /// Draw from `[low, high)`.
+    pub fn gen_range(&self, low: u64, high: u64) -> u64 {
+        assert!(low < high, "empty range");
+        self.inner.rng.borrow_mut().gen_range(low..high)
+    }
+
+    /// Draw a float in `[0, 1)`.
+    pub fn gen_f64(&self) -> f64 {
+        self.inner.rng.borrow_mut().gen::<f64>()
+    }
+
+    /// Run a closure with mutable access to the simulation RNG.
+    pub fn with_rng<T>(&self, f: impl FnOnce(&mut SmallRng) -> T) -> T {
+        f(&mut self.inner.rng.borrow_mut())
+    }
+
+    /// An exponentially-distributed duration with the given mean
+    /// (used for Poisson arrival processes, e.g. fault injection).
+    pub fn exp_duration(&self, mean: SimDuration) -> SimDuration {
+        let u: f64 = self.inner.rng.borrow_mut().gen_range(1e-12..1.0);
+        SimDuration::from_nanos((-u.ln() * mean.as_nanos() as f64).round() as u64)
+    }
+
+    fn register_timer(&self, at: u64, waker: Waker) {
+        let seq = self.inner.timer_seq.get();
+        self.inner.timer_seq.set(seq + 1);
+        self.inner
+            .timers
+            .borrow_mut()
+            .push(Reverse(TimerEntry { at, seq }));
+        self.inner.timer_wakers.borrow_mut().push((seq, waker));
+    }
+}
+
+/// Future returned by [`SimHandle::sleep`].
+pub struct Sleep {
+    handle: SimHandle,
+    deadline: u64,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.handle.inner.now.get() >= self.deadline {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            self.registered = true;
+            let deadline = self.deadline;
+            self.handle.register_timer(deadline, cx.waker().clone());
+        }
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`SimHandle::yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let sim = Sim::new(1);
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let t = sim.block_on(async move {
+            h.sleep(SimDuration::from_micros(100)).await;
+            h.now()
+        });
+        assert_eq!(t.as_nanos(), 100_000);
+    }
+
+    #[test]
+    fn zero_sleep_completes() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        sim.block_on(async move {
+            h.sleep(SimDuration::ZERO).await;
+        });
+    }
+
+    #[test]
+    fn concurrent_sleeps_interleave_in_time_order() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let log: Rc<RefCell<Vec<(u64, u64)>>> = Rc::default();
+        for i in 0..5u64 {
+            let h2 = h.clone();
+            let log2 = Rc::clone(&log);
+            sim.spawn(async move {
+                h2.sleep(SimDuration::from_micros(10 * (5 - i))).await;
+                log2.borrow_mut().push((i, h2.now().as_nanos()));
+            });
+        }
+        sim.run();
+        let log = log.borrow();
+        // Task 4 sleeps shortest, so completes first.
+        assert_eq!(
+            log.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![4, 3, 2, 1, 0]
+        );
+        assert!(log.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn spawn_returns_result_via_join_handle() {
+        let mut sim = Sim::new(7);
+        let h = sim.handle();
+        let out = sim.block_on(async move {
+            let j = h.spawn(async { 21 * 2 });
+            j.await
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn nested_spawn_inside_task() {
+        let mut sim = Sim::new(7);
+        let h = sim.handle();
+        let out = sim.block_on(async move {
+            let h2 = h.clone();
+            let j = h.spawn(async move {
+                let inner = h2.spawn(async { 10 });
+                inner.await + 1
+            });
+            j.await
+        });
+        assert_eq!(out, 11);
+    }
+
+    #[test]
+    fn yield_now_reschedules_without_time_advance() {
+        let mut sim = Sim::new(7);
+        let h = sim.handle();
+        let t = sim.block_on(async move {
+            for _ in 0..10 {
+                h.yield_now().await;
+            }
+            h.now()
+        });
+        assert_eq!(t, SimTime::ZERO);
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let run = |seed| {
+            let mut sim = Sim::new(seed);
+            let h = sim.handle();
+            let trace: Rc<RefCell<Vec<u64>>> = Rc::default();
+            for _ in 0..20 {
+                let h2 = h.clone();
+                let tr = Rc::clone(&trace);
+                sim.spawn(async move {
+                    let d = h2.gen_range(1, 1000);
+                    h2.sleep(SimDuration::from_nanos(d)).await;
+                    tr.borrow_mut().push(h2.now().as_nanos());
+                });
+            }
+            sim.run();
+            let out = (trace.borrow().clone(), sim.events_processed());
+            out
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99).0, run(100).0);
+    }
+
+    #[test]
+    fn same_deadline_timers_fire_in_fifo_order() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        let log: Rc<RefCell<Vec<u64>>> = Rc::default();
+        for i in 0..4u64 {
+            let h2 = h.clone();
+            let log2 = Rc::clone(&log);
+            sim.spawn(async move {
+                h2.sleep(SimDuration::from_micros(5)).await;
+                log2.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn block_on_detects_deadlock() {
+        let mut sim = Sim::new(1);
+        sim.block_on(std::future::pending::<()>());
+    }
+
+    #[test]
+    fn exp_duration_has_roughly_right_mean() {
+        let sim = Sim::new(3);
+        let h = sim.handle();
+        let mean = SimDuration::from_micros(100);
+        let n = 10_000;
+        let total: u64 = (0..n).map(|_| h.exp_duration(mean).as_nanos()).sum();
+        let avg = total as f64 / n as f64;
+        assert!((avg - 100_000.0).abs() < 5_000.0, "avg {avg}");
+    }
+}

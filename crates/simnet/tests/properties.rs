@@ -1,0 +1,119 @@
+//! Property-based tests of the simulation engine's invariants.
+
+use proptest::prelude::*;
+
+use prdma_simnet::{FifoResource, Histogram, Sim, SimDuration};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Virtual time is monotone and every task completes exactly at
+    /// spawn-time + sleep-time (no drift, no reordering of time).
+    #[test]
+    fn sleeps_complete_exactly(delays in proptest::collection::vec(0u64..1_000_000, 1..50)) {
+        let mut sim = Sim::new(9);
+        let h = sim.handle();
+        let results: Rc<RefCell<Vec<(u64, u64)>>> = Rc::default();
+        for &d in &delays {
+            let h2 = h.clone();
+            let results = Rc::clone(&results);
+            sim.spawn(async move {
+                h2.sleep(SimDuration::from_nanos(d)).await;
+                results.borrow_mut().push((d, h2.now().as_nanos()));
+            });
+        }
+        sim.run();
+        let results = results.borrow();
+        prop_assert_eq!(results.len(), delays.len());
+        for &(d, t) in results.iter() {
+            prop_assert_eq!(t, d, "task slept {} but woke at {}", d, t);
+        }
+        // Completion order is sorted by wake time.
+        prop_assert!(results.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    /// Histogram percentiles are bounded by min/max, monotone in q, and
+    /// the mean is exact.
+    #[test]
+    fn histogram_invariants(values in proptest::collection::vec(0u64..u64::MAX / 2, 1..500)) {
+        let mut hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        prop_assert_eq!(hist.count(), values.len() as u64);
+        prop_assert_eq!(hist.min(), min);
+        prop_assert_eq!(hist.max(), max);
+        let exact_mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+        let tol = (exact_mean * 1e-9).max(1.0);
+        prop_assert!((hist.mean() - exact_mean).abs() <= tol);
+        let mut last = 0;
+        for i in 0..=20 {
+            let p = hist.percentile(i as f64 / 20.0);
+            prop_assert!(p >= last);
+            prop_assert!(p >= min && p <= max);
+            last = p;
+        }
+    }
+
+    /// A FIFO resource of capacity c never exceeds c concurrent holders,
+    /// and total busy time equals the sum of service times.
+    #[test]
+    fn fifo_resource_conservation(
+        capacity in 1usize..6,
+        jobs in proptest::collection::vec(1u64..10_000, 1..40),
+    ) {
+        let mut sim = Sim::new(3);
+        let h = sim.handle();
+        let res = FifoResource::new(h.clone(), capacity);
+        let active = Rc::new(std::cell::Cell::new(0usize));
+        let peak = Rc::new(std::cell::Cell::new(0usize));
+        for &j in &jobs {
+            let res = res.clone();
+            let active = Rc::clone(&active);
+            let peak = Rc::clone(&peak);
+            let h2 = h.clone();
+            sim.spawn(async move {
+                res.with_server(|| async {
+                    active.set(active.get() + 1);
+                    peak.set(peak.get().max(active.get()));
+                    h2.sleep(SimDuration::from_nanos(j)).await;
+                    active.set(active.get() - 1);
+                })
+                .await;
+            });
+        }
+        sim.run();
+        prop_assert!(peak.get() <= capacity);
+        prop_assert_eq!(res.served(), jobs.len() as u64);
+        let total: u64 = jobs.iter().sum();
+        prop_assert_eq!(res.busy_time().as_nanos(), total);
+        // Work conservation: makespan >= total/capacity and <= total.
+        let makespan = h.now().as_nanos();
+        prop_assert!(makespan >= total / capacity as u64);
+        prop_assert!(makespan <= total);
+    }
+
+    /// Determinism: any program of sleeps and spawns produces the same
+    /// event count for the same seed.
+    #[test]
+    fn event_count_deterministic(seed in any::<u64>(), n in 1usize..40) {
+        let run = || {
+            let mut sim = Sim::new(seed);
+            let h = sim.handle();
+            for _ in 0..n {
+                let h2 = h.clone();
+                sim.spawn(async move {
+                    let d = h2.gen_range(1, 10_000);
+                    h2.sleep(SimDuration::from_nanos(d)).await;
+                });
+            }
+            sim.run();
+            (sim.events_processed(), sim.now().as_nanos())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,200 @@
+//! Key-access distributions: zipfian (YCSB's default, 0.99 skew), the
+//! "latest" distribution (YCSB workload D), and uniform.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A zipfian generator over `0..n` (Gray et al. / YCSB formulation).
+///
+/// Item 0 is the most popular. With `theta = 0.99` (the paper's "99%
+/// skewness"), the hottest ~1% of keys absorb most accesses.
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// Build a generator over `0..n` with skew `theta` in (0, 1).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "empty key space");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        let zeta_n = Self::zeta(n, theta);
+        let zeta_2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_2 / zeta_n);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zeta_n,
+            eta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draw the next key.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// Key-space size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+/// YCSB-style access pattern selector.
+pub enum KeyDist {
+    /// Zipfian over the whole key space.
+    Zipfian(Zipfian),
+    /// "Latest": zipfian over recency — new inserts are hottest
+    /// (YCSB workload D).
+    Latest {
+        /// Recency skew generator.
+        zipf: Zipfian,
+        /// Current number of records (grows with inserts).
+        count: std::cell::Cell<u64>,
+    },
+    /// Uniform over the key space.
+    Uniform {
+        /// Key-space size.
+        n: u64,
+    },
+}
+
+impl KeyDist {
+    /// Zipfian with the paper's 0.99 skew.
+    pub fn zipfian(n: u64) -> Self {
+        KeyDist::Zipfian(Zipfian::new(n, 0.99))
+    }
+
+    /// Latest-distribution over an initially `n`-record table.
+    pub fn latest(n: u64) -> Self {
+        KeyDist::Latest {
+            zipf: Zipfian::new(n, 0.99),
+            count: std::cell::Cell::new(n),
+        }
+    }
+
+    /// Uniform over `0..n`.
+    pub fn uniform(n: u64) -> Self {
+        KeyDist::Uniform { n }
+    }
+
+    /// Draw a key.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        match self {
+            KeyDist::Zipfian(z) => z.sample(rng),
+            KeyDist::Latest { zipf, count } => {
+                let n = count.get();
+                let back = zipf.sample(rng).min(n - 1);
+                n - 1 - back
+            }
+            KeyDist::Uniform { n } => rng.gen_range(0..*n),
+        }
+    }
+
+    /// Record an insert (grows the "latest" key space).
+    pub fn on_insert(&self) -> u64 {
+        match self {
+            KeyDist::Latest { count, .. } => {
+                let k = count.get();
+                count.set(k + 1);
+                k
+            }
+            KeyDist::Zipfian(z) => z.n(),
+            KeyDist::Uniform { n } => *n,
+        }
+    }
+}
+
+/// A deterministic RNG for workload generation, independent of the
+/// simulator's scheduling RNG (so op sequences don't change when the
+/// protocol model changes).
+pub fn workload_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipfian_is_heavily_skewed_at_099() {
+        let z = Zipfian::new(50_000, 0.99);
+        let mut rng = workload_rng(1);
+        let mut head_hits = 0;
+        let samples = 100_000;
+        for _ in 0..samples {
+            if z.sample(&mut rng) < 500 {
+                head_hits += 1;
+            }
+        }
+        // With theta=0.99 the hottest 1% of keys should draw >40% of
+        // accesses.
+        let frac = head_hits as f64 / samples as f64;
+        assert!(frac > 0.4, "head fraction {frac}");
+    }
+
+    #[test]
+    fn zipfian_stays_in_range() {
+        let z = Zipfian::new(100, 0.99);
+        let mut rng = workload_rng(2);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn zipfian_is_deterministic_per_seed() {
+        let z = Zipfian::new(1000, 0.9);
+        let draw = |seed| {
+            let mut rng = workload_rng(seed);
+            (0..50).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn latest_prefers_recent_keys() {
+        let d = KeyDist::latest(10_000);
+        let mut rng = workload_rng(3);
+        let mut recent = 0;
+        for _ in 0..10_000 {
+            if d.sample(&mut rng) >= 9_000 {
+                recent += 1;
+            }
+        }
+        assert!(recent > 6_000, "recent fraction {recent}");
+        // Inserts extend the space.
+        let k = d.on_insert();
+        assert_eq!(k, 10_000);
+    }
+
+    #[test]
+    fn uniform_covers_space() {
+        let d = KeyDist::uniform(10);
+        let mut rng = workload_rng(4);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[d.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

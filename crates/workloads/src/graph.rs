@@ -1,0 +1,181 @@
+//! Synthetic graph datasets (paper Section 5.1, Fig. 10).
+//!
+//! The paper uses three web-graph datasets from law.di.unimi.it. Those
+//! downloads are not available offline, so we generate graphs with the
+//! same node/edge counts and a power-law degree profile — the properties
+//! that shape PageRank's RPC traffic (DESIGN.md documents this
+//! substitution).
+
+use rand::Rng;
+
+use crate::dist::{workload_rng, Zipfian};
+
+/// The paper's three PageRank datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphDataset {
+    /// wordassociation-2011: 10 K nodes, 72 K edges.
+    WordAssociation2011,
+    /// enron: 69 K nodes, 276 K edges.
+    Enron,
+    /// dblp-2010: 326 K nodes, 1 615 K edges.
+    Dblp2010,
+}
+
+impl GraphDataset {
+    /// All three, in the paper's order.
+    pub const ALL: [GraphDataset; 3] = [
+        GraphDataset::WordAssociation2011,
+        GraphDataset::Enron,
+        GraphDataset::Dblp2010,
+    ];
+
+    /// `(nodes, edges)` as reported by the paper.
+    pub fn shape(self) -> (u32, u64) {
+        match self {
+            GraphDataset::WordAssociation2011 => (10_000, 72_000),
+            GraphDataset::Enron => (69_000, 276_000),
+            GraphDataset::Dblp2010 => (326_000, 1_615_000),
+        }
+    }
+
+    /// Dataset name as in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphDataset::WordAssociation2011 => "wordassociation-2011",
+            GraphDataset::Enron => "enron",
+            GraphDataset::Dblp2010 => "dblp-2010",
+        }
+    }
+}
+
+/// A directed graph in CSR form.
+pub struct Graph {
+    /// Node count.
+    pub nodes: u32,
+    /// CSR row offsets (`nodes + 1` entries).
+    pub offsets: Vec<u64>,
+    /// CSR column indices (edge targets).
+    pub targets: Vec<u32>,
+}
+
+impl Graph {
+    /// Edge count.
+    pub fn edges(&self) -> u64 {
+        self.targets.len() as u64
+    }
+
+    /// Out-neighbors of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: u32) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Serialized size in bytes when stored remotely (CSR arrays).
+    pub fn stored_bytes(&self) -> u64 {
+        (self.offsets.len() * 8 + self.targets.len() * 4) as u64
+    }
+}
+
+/// Generate a power-law graph matching `dataset`'s node/edge counts.
+pub fn generate(dataset: GraphDataset, seed: u64) -> Graph {
+    let (nodes, edges) = dataset.shape();
+    generate_power_law(nodes, edges, seed)
+}
+
+/// Generate `edges` directed edges over `nodes` nodes with zipfian-skewed
+/// endpoints (power-law in- and out-degree), deterministically from
+/// `seed`.
+pub fn generate_power_law(nodes: u32, edges: u64, seed: u64) -> Graph {
+    assert!(nodes > 1, "need at least two nodes");
+    let mut rng = workload_rng(seed);
+    let zsrc = Zipfian::new(nodes as u64, 0.7);
+    // Count degrees first, then fill CSR.
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(edges as usize);
+    for _ in 0..edges {
+        let s = zsrc.sample(&mut rng) as u32;
+        // Target mixes skew and uniform for connectivity.
+        let t = if rng.gen::<bool>() {
+            zsrc.sample(&mut rng) as u32
+        } else {
+            rng.gen_range(0..nodes)
+        };
+        let t = if t == s { (t + 1) % nodes } else { t };
+        pairs.push((s, t));
+    }
+    let mut degree = vec![0u64; nodes as usize];
+    for &(s, _) in &pairs {
+        degree[s as usize] += 1;
+    }
+    let mut offsets = Vec::with_capacity(nodes as usize + 1);
+    let mut acc = 0u64;
+    offsets.push(0);
+    for &d in &degree {
+        acc += d;
+        offsets.push(acc);
+    }
+    let mut cursor = offsets.clone();
+    let mut targets = vec![0u32; edges as usize];
+    for (s, t) in pairs {
+        let at = cursor[s as usize];
+        targets[at as usize] = t;
+        cursor[s as usize] += 1;
+    }
+    Graph {
+        nodes,
+        offsets,
+        targets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper() {
+        assert_eq!(GraphDataset::WordAssociation2011.shape(), (10_000, 72_000));
+        assert_eq!(GraphDataset::Enron.shape(), (69_000, 276_000));
+        assert_eq!(GraphDataset::Dblp2010.shape(), (326_000, 1_615_000));
+    }
+
+    #[test]
+    fn generated_graph_has_exact_counts() {
+        let g = generate(GraphDataset::WordAssociation2011, 1);
+        assert_eq!(g.nodes, 10_000);
+        assert_eq!(g.edges(), 72_000);
+        assert_eq!(*g.offsets.last().unwrap(), 72_000);
+    }
+
+    #[test]
+    fn degrees_are_power_law_skewed() {
+        let g = generate(GraphDataset::WordAssociation2011, 2);
+        let mut degs: Vec<u64> = (0..g.nodes).map(|v| g.degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let top1pct: u64 = degs.iter().take(g.nodes as usize / 100).sum();
+        let frac = top1pct as f64 / g.edges() as f64;
+        assert!(frac > 0.15, "top-1% degree share {frac}");
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = generate(GraphDataset::WordAssociation2011, 3);
+        for v in 0..g.nodes {
+            assert!(!g.neighbors(v).contains(&v), "self loop at {v}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_power_law(1000, 5000, 9);
+        let b = generate_power_law(1000, 5000, 9);
+        assert_eq!(a.targets, b.targets);
+        let c = generate_power_law(1000, 5000, 10);
+        assert_ne!(a.targets, c.targets);
+    }
+}

@@ -1,0 +1,137 @@
+//! Client-side KV index (paper Section 5.1: "Clients perform RPCs to
+//! access KV pairs in the remote PM, and maintain KV indexes in the main
+//! memory of clients locally").
+//!
+//! Keys are 8 bytes; the index maps them to object ids in the server's
+//! PM store. Inserts allocate fresh object ids; updates reuse the mapped
+//! id. The index itself is volatile client state — losing it costs a
+//! rebuild, never durability (the store and log are server-side).
+
+use std::collections::HashMap;
+
+/// An 8-byte key, as in the paper's YCSB setup.
+pub type Key = u64;
+
+/// Client-local index from keys to remote object ids.
+#[derive(Default)]
+pub struct KvIndex {
+    map: HashMap<Key, u64>,
+    next_obj: u64,
+}
+
+impl KvIndex {
+    /// An empty index whose allocations start at object id 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-load `n` sequential records (YCSB load phase): key `i` maps to
+    /// object `i`.
+    pub fn preload(n: u64) -> Self {
+        KvIndex {
+            map: (0..n).map(|i| (i, i)).collect(),
+            next_obj: n,
+        }
+    }
+
+    /// The object id for `key`, if present.
+    pub fn lookup(&self, key: Key) -> Option<u64> {
+        self.map.get(&key).copied()
+    }
+
+    /// Map `key` for an update-or-insert: existing keys keep their object
+    /// id; new keys get a fresh one. Returns `(obj_id, inserted)`.
+    pub fn upsert(&mut self, key: Key) -> (u64, bool) {
+        if let Some(&obj) = self.map.get(&key) {
+            (obj, false)
+        } else {
+            let obj = self.next_obj;
+            self.next_obj += 1;
+            self.map.insert(key, obj);
+            (obj, true)
+        }
+    }
+
+    /// Remove a key; returns its object id (now free for reuse by the
+    /// application's own allocator policy).
+    pub fn remove(&mut self, key: Key) -> Option<u64> {
+        self.map.remove(&key)
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The `count` smallest keys ≥ `start`, in order (a scan's key set —
+    /// YCSB E resolves ranges client-side before fetching).
+    pub fn scan_keys(&self, start: Key, count: usize) -> Vec<(Key, u64)> {
+        let mut hits: Vec<(Key, u64)> = self
+            .map
+            .iter()
+            .filter(|(k, _)| **k >= start)
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        hits.sort_unstable_by_key(|(k, _)| *k);
+        hits.truncate(count);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preload_maps_identity() {
+        let idx = KvIndex::preload(100);
+        assert_eq!(idx.len(), 100);
+        assert_eq!(idx.lookup(42), Some(42));
+        assert_eq!(idx.lookup(100), None);
+    }
+
+    #[test]
+    fn upsert_reuses_then_allocates() {
+        let mut idx = KvIndex::preload(10);
+        let (obj, inserted) = idx.upsert(5);
+        assert_eq!((obj, inserted), (5, false));
+        let (obj, inserted) = idx.upsert(999);
+        assert_eq!((obj, inserted), (10, true));
+        let (obj2, inserted2) = idx.upsert(999);
+        assert_eq!((obj2, inserted2), (obj, false));
+    }
+
+    #[test]
+    fn remove_frees_key_not_id() {
+        let mut idx = KvIndex::preload(4);
+        assert_eq!(idx.remove(2), Some(2));
+        assert_eq!(idx.lookup(2), None);
+        // A re-insert gets a fresh id — ids are never silently recycled.
+        let (obj, inserted) = idx.upsert(2);
+        assert!(inserted);
+        assert_eq!(obj, 4);
+    }
+
+    #[test]
+    fn scan_keys_ordered_window() {
+        let mut idx = KvIndex::new();
+        for k in [9u64, 3, 7, 1, 5] {
+            idx.upsert(k);
+        }
+        let hits = idx.scan_keys(3, 3);
+        let keys: Vec<u64> = hits.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn empty_index_behaves() {
+        let idx = KvIndex::new();
+        assert!(idx.is_empty());
+        assert!(idx.scan_keys(0, 10).is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! # prdma-workloads
+//!
+//! Workload generators and experiment drivers for PRDMA-RS, matching the
+//! paper's evaluation (Section 5):
+//!
+//! * [`micro`] — the micro-benchmark: 50 K objects, 300 K zipfian
+//!   read/write ops, configurable object size and load profile.
+//! * [`ycsb`] — native YCSB A–F drivers (8 B keys, 4 KB values).
+//! * [`graph`] / [`pagerank`] — synthetic power-law graphs with the
+//!   paper's dataset shapes, and PageRank fetching graph data over RPC.
+//! * [`faults`] — the failure-recovery experiment: availability sweeps,
+//!   unikernel restart latency, and the redo-log-vs-re-send comparison.
+//! * [`dist`] — zipfian / latest / uniform key distributions.
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod faults;
+pub mod graph;
+pub mod kv;
+pub mod micro;
+pub mod pagerank;
+pub mod ycsb;
+
+pub use dist::{KeyDist, Zipfian};
+pub use faults::{run_faulty, FaultConfig, FaultResult, MeasuredCosts, Scheme};
+pub use graph::{generate, generate_power_law, Graph, GraphDataset};
+pub use kv::KvIndex;
+pub use micro::{run_micro, run_micro_merged, MicroConfig, RunResult};
+pub use pagerank::{run_pagerank, PageRankConfig, PageRankResult};
+pub use ycsb::{run_ycsb, YcsbConfig, YcsbWorkload};

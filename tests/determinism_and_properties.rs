@@ -1,0 +1,172 @@
+//! Determinism guarantees and property-based tests spanning the whole
+//! stack.
+
+use prdma_suite::baselines::{build_system, SystemKind, SystemOpts};
+use prdma_suite::core::{
+    build_durable, DurableConfig, DurableKind, Request, RpcClient, ServerProfile,
+};
+use prdma_suite::node::{Cluster, ClusterConfig};
+use prdma_suite::rnic::Payload;
+use prdma_suite::simnet::Sim;
+use prdma_suite::workloads::micro::{run_micro, MicroConfig};
+
+use proptest::prelude::*;
+
+fn full_run(seed: u64, kind: SystemKind) -> (u64, u64, u64) {
+    let mut sim = Sim::new(seed);
+    let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(2));
+    let opts = SystemOpts::for_object_size(1024, ServerProfile::light());
+    let client = build_system(&cluster, kind, 1, 0, 0, &opts);
+    let cfg = MicroConfig {
+        objects: 500,
+        ops: 200,
+        object_size: 1024,
+        seed,
+        ..Default::default()
+    };
+    let h = sim.handle();
+    let r = sim.block_on(async move { run_micro(client.as_ref(), &h, &cfg).await });
+    (
+        r.elapsed.as_nanos(),
+        r.latency.p99_ns,
+        sim.events_processed(),
+    )
+}
+
+/// The entire stack is deterministic: identical seeds give identical
+/// simulated time, identical tail latencies, and identical event counts.
+#[test]
+fn whole_stack_determinism() {
+    for kind in [SystemKind::WFlush, SystemKind::Darpc, SystemKind::ScaleRpc] {
+        let a = full_run(11, kind);
+        let b = full_run(11, kind);
+        assert_eq!(a, b, "{kind:?} not deterministic");
+        let c = full_run(12, kind);
+        assert_ne!(a.0, c.0, "{kind:?} seed-insensitive (suspicious)");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any mix of put/get sizes round-trips correct lengths and contents
+    /// through a durable RPC connection.
+    #[test]
+    fn durable_rpc_handles_arbitrary_op_sequences(
+        seed in 0u64..1000,
+        ops in proptest::collection::vec((0u64..64, 1u64..2048, any::<bool>()), 1..20),
+    ) {
+        let mut sim = Sim::new(seed);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(2));
+        let cfg = DurableConfig {
+            kind: DurableKind::WFlush,
+            slot_payload: 2048,
+            object_slot: 2048,
+            store_capacity: 1 << 20,
+            ..Default::default()
+        };
+        let (client, server) = build_durable(&cluster, 1, 0, 0, cfg);
+        server.start();
+        sim.block_on(async move {
+            let mut last_write: std::collections::HashMap<u64, u8> = Default::default();
+            for (obj, len, is_put) in ops {
+                if is_put {
+                    let fill = (obj % 251) as u8 + 1;
+                    client.call(Request::Put {
+                        obj,
+                        data: Payload::from_bytes(vec![fill; len as usize]),
+                    }).await.unwrap();
+                    last_write.insert(obj, fill);
+                } else {
+                    let r = client.call(Request::Get { obj, len }).await.unwrap();
+                    prop_assert_eq!(r.payload.unwrap().len(), len);
+                }
+            }
+            Ok::<(), TestCaseError>(())
+        })?;
+    }
+
+    /// Crashing after N acknowledged puts never loses or tears any of
+    /// them: recovery returns exactly the unprocessed suffix, intact.
+    #[test]
+    fn crash_never_loses_acked_puts(
+        seed in 0u64..500,
+        n in 1usize..12,
+    ) {
+        let mut sim = Sim::new(seed);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(2));
+        let cfg = DurableConfig {
+            kind: DurableKind::WFlush,
+            profile: ServerProfile::heavy(),
+            slot_payload: 512,
+            object_slot: 512,
+            store_capacity: 1 << 20,
+            log_slots: 32,
+            head_persist_interval: 1,
+            ..Default::default()
+        };
+        let (client, server) = build_durable(&cluster, 1, 0, 0, cfg);
+        server.start();
+        let node = cluster.node(0).clone();
+        let log = server.log().clone();
+        let store = server.store().clone();
+        sim.block_on(async move {
+            for i in 0..n as u64 {
+                client.call(Request::Put {
+                    obj: i,
+                    data: Payload::from_bytes(vec![(i % 255) as u8 + 1; 64]),
+                }).await.unwrap();
+            }
+            node.crash();
+            node.restart();
+            Ok::<(), TestCaseError>(())
+        })?;
+        let pending = log.recover();
+        // Every put is either applied in the store or recoverable.
+        let mut accounted = vec![false; n];
+        for e in &pending {
+            let i = e.op.obj_id as usize;
+            prop_assert!(i < n, "phantom entry {i}");
+            prop_assert_eq!(&e.payload, &vec![(i as u64 % 255) as u8 + 1; 64]);
+            accounted[i] = true;
+        }
+        for (i, done) in accounted.iter().enumerate() {
+            if !done {
+                // Must have been applied before the crash.
+                let got = store.persistent_bytes(i as u64, 64);
+                prop_assert_eq!(
+                    got,
+                    vec![(i as u64 % 255) as u8 + 1; 64],
+                    "put {} neither recovered nor applied",
+                    i
+                );
+            }
+        }
+    }
+
+    /// Payload composites preserve total length and inline placement.
+    #[test]
+    fn payload_composite_invariants(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                (1u64..512).prop_map(|l| Payload::synthetic(l, 0)),
+                proptest::collection::vec(any::<u8>(), 1..128)
+                    .prop_map(Payload::from_bytes),
+            ],
+            1..8,
+        )
+    ) {
+        let total: u64 = parts.iter().map(Payload::len).sum();
+        let composite = Payload::composite(parts.clone());
+        prop_assert_eq!(composite.len(), total);
+        // Inline parts are placed at their running offsets and never
+        // overlap or exceed the total.
+        let inline = composite.inline_parts();
+        let mut last_end = 0u64;
+        for (off, bytes) in inline {
+            prop_assert!(off >= last_end);
+            last_end = off + bytes.len() as u64;
+            prop_assert!(last_end <= total);
+        }
+    }
+}
