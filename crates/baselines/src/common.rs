@@ -160,11 +160,7 @@ pub async fn client_poll(node: &Node) {
 
 /// Deliver a reply of `len` bytes by RDMA write into the client's response
 /// buffer and wait until its DMA lands (the client polls its memory).
-pub async fn reply_by_write(
-    pair_rev: &Qp,
-    client_node: &Node,
-    len: u64,
-) -> RpcResult<()> {
+pub async fn reply_by_write(pair_rev: &Qp, client_node: &Node, len: u64) -> RpcResult<()> {
     let tok = pair_rev
         .write(
             MemTarget::Dram(CLIENT_RESP_ADDR),

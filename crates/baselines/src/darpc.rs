@@ -6,14 +6,12 @@
 //! it, runs the RPC, and replies with another send. Persistence is
 //! implied by the RPC completion — and therefore arrives late.
 
+use prdma::ServerProfile;
 use prdma::{Request, Response, RpcClient, RpcFuture};
 use prdma_node::{Cluster, Node};
 use prdma_rnic::{MemTarget, Payload, QpMode};
-use prdma::ServerProfile;
 
-use crate::common::{
-    qp_pair, reply_by_send, request_image, request_parts, QpPair, ServerCtx,
-};
+use crate::common::{qp_pair, reply_by_send, request_image, request_parts, QpPair, ServerCtx};
 
 /// DaRPC client endpoint (the server side is modeled inline).
 pub struct DarpcClient {
@@ -76,9 +74,13 @@ impl DarpcClient {
         };
 
         // Two-sided reply.
-        let _delivered =
-            reply_by_send(&self.qp.rev, &self.qp.rev_client, &self.client_node, resp_len)
-                .await?;
+        let _delivered = reply_by_send(
+            &self.qp.rev,
+            &self.qp.rev_client,
+            &self.client_node,
+            resp_len,
+        )
+        .await?;
         Ok(Response {
             payload,
             durable: true,
@@ -127,8 +129,13 @@ impl DarpcClient {
             // Persistence is coupled to RPC completion here, so every
             // request still needs its own completion reply — unlike the
             // durable RPCs, whose single flush covers the whole batch.
-            let _ = reply_by_send(&self.qp.rev, &self.qp.rev_client, &self.client_node, resp_len)
-                .await?;
+            let _ = reply_by_send(
+                &self.qp.rev,
+                &self.qp.rev_client,
+                &self.client_node,
+                resp_len,
+            )
+            .await?;
             out.push(Response {
                 payload,
                 durable: true,

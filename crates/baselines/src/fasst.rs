@@ -95,9 +95,13 @@ impl FasstClient {
                 (Some(p), l)
             };
 
-            let delivered =
-                reply_by_send(&self.qp.rev, &self.qp.rev_client, &self.client_node, resp_len)
-                    .await?;
+            let delivered = reply_by_send(
+                &self.qp.rev,
+                &self.qp.rev_client,
+                &self.client_node,
+                resp_len,
+            )
+            .await?;
             if !delivered {
                 continue; // reply lost: the client times out and re-sends
             }

@@ -81,7 +81,9 @@ impl HerdClient {
         let mut remaining = MSG_HEADER + resp_len;
         while remaining > 0 {
             let frag = remaining.min(mtu);
-            self.qp.rev_client.post_recv(MemTarget::Dram(CLIENT_RESP_ADDR));
+            self.qp
+                .rev_client
+                .post_recv(MemTarget::Dram(CLIENT_RESP_ADDR));
             let tok = self.qp.rev.send(Payload::synthetic(frag, 0)).await?;
             let delivered = tok.wait_outcome().await.delivered;
             let _ = self.qp.rev_client.try_recv();

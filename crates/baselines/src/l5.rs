@@ -6,7 +6,9 @@ use prdma::{Request, Response, RpcClient, RpcFuture, ServerProfile};
 use prdma_node::{Cluster, Node};
 use prdma_rnic::{MemTarget, Payload, QpMode};
 
-use crate::common::{qp_pair, reply_by_write, request_image, request_parts, QpPair, ServerCtx, SLOT_PITCH};
+use crate::common::{
+    qp_pair, reply_by_write, request_image, request_parts, QpPair, ServerCtx, SLOT_PITCH,
+};
 
 /// Offset of the validity flag within the lane's message slot.
 const FLAG_OFF: u64 = SLOT_PITCH - 8;

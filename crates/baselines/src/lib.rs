@@ -24,8 +24,8 @@ mod fasst;
 mod herd;
 mod l5;
 mod octopus;
-mod rfp;
 mod registry;
+mod rfp;
 mod scalerpc;
 
 pub use darpc::{build_darpc, DarpcClient};
@@ -60,7 +60,10 @@ mod tests {
                         data: Payload::synthetic(size, i),
                     }
                 } else {
-                    Request::Get { obj: i - 1, len: size }
+                    Request::Get {
+                        obj: i - 1,
+                        len: size,
+                    }
                 };
                 client.call(req).await.unwrap();
             }

@@ -1,10 +1,9 @@
 //! Uniform construction of every RPC system (the four durable RPCs plus
 //! the nine baselines), so experiment harnesses can sweep them.
 
-use prdma::{
-    build_durable, DurableConfig, DurableKind, FlushImpl, RpcClient, ServerProfile,
-};
+use prdma::{build_durable, DurableConfig, DurableKind, FlushImpl, RpcClient, ServerProfile};
 use prdma_node::Cluster;
+use prdma_simnet::trace::Role;
 use prdma_simnet::SimDuration;
 
 use crate::darpc::build_darpc;
@@ -170,6 +169,11 @@ pub fn build_system(
     lane: usize,
     opts: &SystemOpts,
 ) -> Box<dyn RpcClient> {
+    // Latency breakdown: software time on the client node is sender-side,
+    // on the server node receiver-side (build_durable also sets these,
+    // idempotently).
+    cluster.node(client_idx).tracer().set_role(Role::Sender);
+    cluster.node(server_idx).tracer().set_role(Role::Receiver);
     if let Some(dk) = kind.durable_kind() {
         let cfg = DurableConfig {
             kind: dk,
@@ -193,19 +197,19 @@ pub fn build_system(
     match kind {
         SystemKind::L5 => Box::new(build_l5(cluster, client_idx, server_idx, lane, p, os, sc)),
         SystemKind::Rfp => Box::new(build_rfp(cluster, client_idx, server_idx, lane, p, os, sc)),
-        SystemKind::Fasst => {
-            Box::new(build_fasst(cluster, client_idx, server_idx, lane, p, os, sc))
-        }
-        SystemKind::Octopus => {
-            Box::new(build_octopus(cluster, client_idx, server_idx, lane, p, os, sc))
-        }
+        SystemKind::Fasst => Box::new(build_fasst(
+            cluster, client_idx, server_idx, lane, p, os, sc,
+        )),
+        SystemKind::Octopus => Box::new(build_octopus(
+            cluster, client_idx, server_idx, lane, p, os, sc,
+        )),
         SystemKind::Farm => Box::new(build_farm(cluster, client_idx, server_idx, lane, p, os, sc)),
-        SystemKind::ScaleRpc => {
-            Box::new(build_scalerpc(cluster, client_idx, server_idx, lane, p, os, sc))
-        }
-        SystemKind::Darpc => {
-            Box::new(build_darpc(cluster, client_idx, server_idx, lane, p, os, sc))
-        }
+        SystemKind::ScaleRpc => Box::new(build_scalerpc(
+            cluster, client_idx, server_idx, lane, p, os, sc,
+        )),
+        SystemKind::Darpc => Box::new(build_darpc(
+            cluster, client_idx, server_idx, lane, p, os, sc,
+        )),
         SystemKind::Herd => Box::new(build_herd(cluster, client_idx, server_idx, lane, p, os, sc)),
         SystemKind::Lite => Box::new(build_lite(cluster, client_idx, server_idx, lane, p, os, sc)),
         _ => unreachable!("durable kinds handled above"),

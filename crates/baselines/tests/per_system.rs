@@ -95,7 +95,12 @@ fn scalerpc_warmup_periodicity() {
     });
     // Ops 0 and 100 are warm-ups: costlier than their neighbours.
     assert!(lat[0] > lat[1], "eager warm-up: {} !> {}", lat[0], lat[1]);
-    assert!(lat[100] > lat[99], "periodic warm-up: {} !> {}", lat[100], lat[99]);
+    assert!(
+        lat[100] > lat[99],
+        "periodic warm-up: {} !> {}",
+        lat[100],
+        lat[99]
+    );
     assert!(lat[100] > lat[101]);
 }
 
@@ -119,10 +124,7 @@ fn herd_fragments_large_replies() {
                 .unwrap();
             let t0 = h.now();
             client
-                .call(Request::Get {
-                    obj: 0,
-                    len: 16384,
-                })
+                .call(Request::Get { obj: 0, len: 16384 })
                 .await
                 .unwrap();
             h.now() - t0
@@ -223,7 +225,10 @@ fn lossy_fabric_is_survivable() {
                         data: Payload::synthetic(1024, i),
                     }
                 } else {
-                    Request::Get { obj: i - 1, len: 1024 }
+                    Request::Get {
+                        obj: i - 1,
+                        len: 1024,
+                    }
                 };
                 if client.call(req).await.is_ok() {
                     ok += 1;
@@ -263,7 +268,11 @@ fn rc_loss_costs_time_not_correctness() {
         let region = cluster.node(0).alloc.lookup("objects").unwrap();
         for i in 0..40u64 {
             let got = pm.read_persistent_view(region.offset + i * 1024, 128);
-            assert_eq!(got, vec![i as u8 + 1; 128], "object {i} corrupt at loss {loss}");
+            assert_eq!(
+                got,
+                vec![i as u8 + 1; 128],
+                "object {i} corrupt at loss {loss}"
+            );
         }
         t
     };

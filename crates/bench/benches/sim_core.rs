@@ -1,101 +1,102 @@
-//! Criterion microbenches of the simulator's hot paths: executor
-//! spawn/sleep, channels, histogram recording, and redo-log entry
-//! encoding. These guard the harness's own performance (a slow simulator
-//! means slow paper regeneration).
+//! Microbenches of the simulator's hot paths: executor spawn/sleep,
+//! channels, histogram recording, and redo-log entry encoding. These
+//! guard the harness's own performance (a slow simulator means slow
+//! paper regeneration).
+//!
+//! Dependency-free harness (no criterion, so the workspace builds
+//! offline): each bench runs a fixed number of iterations and reports
+//! wall time and per-element throughput. Under `cargo test` (which runs
+//! `harness = false` benches with `--test`) it does one quick iteration
+//! as a smoke check.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use prdma::{encode_entry, OpCode, RpcOperator};
 use prdma_rnic::Payload;
 use prdma_simnet::{channel, Histogram, Sim, SimDuration};
+use std::time::Instant;
 
-fn bench_executor(c: &mut Criterion) {
-    let mut g = c.benchmark_group("executor");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("spawn_sleep_10k_tasks", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new(1);
-            let h = sim.handle();
-            for i in 0..10_000u64 {
-                let h2 = h.clone();
-                sim.spawn(async move {
-                    h2.sleep(SimDuration::from_nanos(i % 97)).await;
-                });
-            }
-            sim.run();
-            sim.events_processed()
-        });
-    });
-    g.finish();
+fn bench(name: &str, elements: u64, iters: u32, mut f: impl FnMut() -> u64) {
+    // Warm-up + checksum so the work can't be optimized away.
+    let mut sink = f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        sink = sink.wrapping_add(f());
+    }
+    let elapsed = start.elapsed();
+    let per_iter = elapsed / iters;
+    let rate = elements as f64 / per_iter.as_secs_f64() / 1e6;
+    println!("{name:<28} {per_iter:>12.2?}/iter {rate:>10.2} Melem/s (sink {sink:x})");
 }
 
-fn bench_channels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("channel");
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("send_recv_100k", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new(1);
-            let (tx, mut rx) = channel::<u64>();
+fn bench_executor(iters: u32) {
+    bench("executor/spawn_sleep_10k", 10_000, iters, || {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        for i in 0..10_000u64 {
+            let h2 = h.clone();
             sim.spawn(async move {
-                for i in 0..100_000u64 {
-                    tx.send(i).unwrap();
-                }
+                h2.sleep(SimDuration::from_nanos(i % 97)).await;
             });
-            sim.block_on(async move {
-                let mut sum = 0u64;
-                while let Some(v) = rx.recv().await {
-                    sum = sum.wrapping_add(v);
-                }
-                sum
-            })
-        });
+        }
+        sim.run();
+        sim.events_processed()
     });
-    g.finish();
 }
 
-fn bench_histogram(c: &mut Criterion) {
-    let mut g = c.benchmark_group("histogram");
-    g.throughput(Throughput::Elements(1_000_000));
-    g.bench_function("record_1m", |b| {
-        b.iter(|| {
-            let mut h = Histogram::new();
-            let mut x = 88172645463325252u64;
-            for _ in 0..1_000_000 {
-                x ^= x << 13;
-                x ^= x >> 7;
-                x ^= x << 17;
-                h.record(x % 10_000_000);
-            }
-            h.percentile(0.99)
-        });
-    });
-    g.finish();
-}
-
-fn bench_log_encode(c: &mut Criterion) {
-    let mut g = c.benchmark_group("redo_log");
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("encode_entry_100k", |b| {
-        let op = RpcOperator {
-            opcode: OpCode::Put,
-            obj_id: 42,
-        };
-        let data = Payload::synthetic(4096, 1);
-        b.iter(|| {
-            let mut total = 0u64;
+fn bench_channels(iters: u32) {
+    bench("channel/send_recv_100k", 100_000, iters, || {
+        let mut sim = Sim::new(1);
+        let (tx, mut rx) = channel::<u64>();
+        sim.spawn(async move {
             for i in 0..100_000u64 {
-                total += encode_entry(i, op, &data).len();
+                tx.send(i).unwrap();
             }
-            total
         });
+        sim.block_on(async move {
+            let mut sum = 0u64;
+            while let Some(v) = rx.recv().await {
+                sum = sum.wrapping_add(v);
+            }
+            sum
+        })
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_executor,
-    bench_channels,
-    bench_histogram,
-    bench_log_encode
-);
-criterion_main!(benches);
+fn bench_histogram(iters: u32) {
+    bench("histogram/record_1m", 1_000_000, iters, || {
+        let mut h = Histogram::new();
+        let mut x = 88172645463325252u64;
+        for _ in 0..1_000_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.record(x % 10_000_000);
+        }
+        h.percentile(0.99)
+    });
+}
+
+fn bench_log_encode(iters: u32) {
+    let op = RpcOperator {
+        opcode: OpCode::Put,
+        obj_id: 42,
+    };
+    let data = Payload::synthetic(4096, 1);
+    bench("redo_log/encode_entry_100k", 100_000, iters, || {
+        let mut total = 0u64;
+        for i in 0..100_000u64 {
+            total += encode_entry(i, op, &data).len();
+        }
+        total
+    });
+}
+
+fn main() {
+    // `cargo test` invokes harness=false benches with `--test`; run one
+    // iteration each as a smoke check and exit quickly.
+    let smoke = std::env::args().any(|a| a == "--test");
+    let iters = if smoke { 1 } else { 20 };
+    bench_executor(iters);
+    bench_channels(iters);
+    bench_histogram(iters);
+    bench_log_encode(iters);
+}

@@ -76,7 +76,12 @@ pub fn fig09(scale: Scale) -> Vec<Table> {
             };
             let r = micro_run(kind, &env, cfg);
             if r.run.ops == 0 {
-                t.row(vec![kind.name().into(), "n/a".into(), "n/a".into(), "n/a".into()]);
+                t.row(vec![
+                    kind.name().into(),
+                    "n/a".into(),
+                    "n/a".into(),
+                    "n/a".into(),
+                ]);
             } else {
                 t.row(vec![
                     kind.name().into(),

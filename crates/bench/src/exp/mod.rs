@@ -6,4 +6,6 @@ pub mod summary;
 
 pub use macro_figs::{fig10, fig11, fig12, fig20};
 pub use micro_figs::{fig08, fig09, fig13, fig14_15_16, fig17, fig18, fig19};
-pub use summary::{abl_ddio, abl_flush_impl, abl_log_threshold, abl_replication, case_fig7a, table2};
+pub use summary::{
+    abl_ddio, abl_flush_impl, abl_log_threshold, abl_replication, case_fig7a, table2,
+};

@@ -1,7 +1,9 @@
 //! Table 2 (qualitative summary) and the ablation benches DESIGN.md calls
 //! out: flush implementation, DDIO, and flow-control threshold.
 
-use prdma::{build_durable, DurableConfig, DurableKind, FlushImpl, Request, RpcClient, ServerProfile};
+use prdma::{
+    build_durable, DurableConfig, DurableKind, FlushImpl, Request, RpcClient, ServerProfile,
+};
 use prdma_baselines::SystemKind;
 use prdma_node::{Cluster, ClusterConfig};
 use prdma_rnic::Payload;
@@ -24,7 +26,8 @@ fn classify(ratio: f64, low: f64, high: f64) -> &'static str {
 /// Table 2: summary of RPC properties, derived from measurements rather
 /// than assertion — network-load sensitivity (busy/idle ratio), receiver
 /// CPU requirement (µs of server CPU per op), tail behaviour (p99/avg),
-/// and scalability (latency growth from 10 to 50 senders).
+/// scalability (latency growth from 10 to 50 senders), and the trace
+/// layer's critical-path software share (Fig. 20's headline number).
 pub fn table2(scale: Scale) -> Vec<Table> {
     let systems = [
         SystemKind::SRFlush,
@@ -43,6 +46,7 @@ pub fn table2(scale: Scale) -> Vec<Table> {
             "recv_cpu(us/op)",
             "tail(p99/avg)",
             "scalability(50s/10s)",
+            "sw_share",
         ],
     );
     for kind in systems {
@@ -53,7 +57,11 @@ pub fn table2(scale: Scale) -> Vec<Table> {
             ..Default::default()
         };
         // Network sensitivity.
-        let idle = micro_run(kind, &ExpEnv::sized(4096, ServerProfile::light()), cfg.clone());
+        let idle = micro_run(
+            kind,
+            &ExpEnv::sized(4096, ServerProfile::light()),
+            cfg.clone(),
+        );
         let busy_env = ExpEnv {
             network_busy: true,
             ..ExpEnv::sized(4096, ServerProfile::light())
@@ -62,6 +70,8 @@ pub fn table2(scale: Scale) -> Vec<Table> {
         let net_ratio = busy.run.latency.mean_ns / idle.run.latency.mean_ns.max(1.0);
         // Receiver CPU requirement.
         let recv_cpu = idle.server_cpu_us_per_op;
+        // Critical-path software share, from the trace layer.
+        let sw_share = idle.trace.software_share();
         // Tail behaviour.
         let tail = idle.run.latency.p99_ns as f64 / idle.run.latency.mean_ns.max(1.0);
         // Scalability.
@@ -78,10 +88,8 @@ pub fn table2(scale: Scale) -> Vec<Table> {
             format!("{net_ratio:.2} ({})", classify(net_ratio, 1.3, 2.0)),
             format!("{recv_cpu:.2} ({})", classify(recv_cpu, 1.0, 3.0)),
             format!("{tail:.2} ({})", classify(tail, 1.5, 3.0)),
-            format!(
-                "{scal:.2} ({})",
-                if scal < 1.5 { "Good" } else { "Medium" }
-            ),
+            format!("{scal:.2} ({})", if scal < 1.5 { "Good" } else { "Medium" }),
+            format!("{:.1}%", sw_share * 100.0),
         ]);
     }
     vec![t]
@@ -197,7 +205,7 @@ pub fn abl_ddio(_scale: Scale) -> Vec<Table> {
 /// one extra flush trip; the table compares the non-durable write, the
 /// WFlush-durable write, and Octopus's own CPU-coupled durable path.
 pub fn case_fig7a(scale: Scale) -> Vec<Table> {
-    use prdma::{FlushOps, FlushImpl};
+    use prdma::{FlushImpl, FlushOps};
     use prdma_rnic::{MemTarget, QpMode};
 
     let mut t = Table::new(
@@ -210,10 +218,8 @@ pub fn case_fig7a(scale: Scale) -> Vec<Table> {
     // Path timings measured over the raw substrate.
     let measure = |mode: &str| -> (f64, bool) {
         let mut sim = Sim::new(66);
-        let cluster = prdma_node::Cluster::new(
-            sim.handle(),
-            prdma_node::ClusterConfig::with_nodes(2),
-        );
+        let cluster =
+            prdma_node::Cluster::new(sim.handle(), prdma_node::ClusterConfig::with_nodes(2));
         let server = cluster.node(0).clone();
         let region = server.alloc.alloc("data", 1 << 22, 64).unwrap();
         let (qc, qs) = cluster.connect(1, 0, QpMode::Rc);
@@ -300,10 +306,8 @@ pub fn abl_replication(scale: Scale) -> Vec<Table> {
     );
     for n in [1usize, 2, 3, 4] {
         let mut sim = Sim::new(55);
-        let cluster = prdma_node::Cluster::new(
-            sim.handle(),
-            prdma_node::ClusterConfig::with_nodes(n + 1),
-        );
+        let cluster =
+            prdma_node::Cluster::new(sim.handle(), prdma_node::ClusterConfig::with_nodes(n + 1));
         let cfg = DurableConfig {
             kind: DurableKind::WFlush,
             slot_payload: 1024,

@@ -52,7 +52,10 @@ impl Table {
                 .join("  ")
         };
         println!("{}", fmt_row(&self.headers));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             println!("{}", fmt_row(row));
         }
@@ -86,8 +89,7 @@ pub fn output_dir() -> PathBuf {
     if let Some(p) = std::env::var_os("PRDMA_OUT") {
         return PathBuf::from(p);
     }
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/paper_results")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/paper_results")
 }
 
 /// Format a microsecond value for tables.

@@ -5,6 +5,7 @@
 use prdma::{FlushImpl, ServerProfile};
 use prdma_baselines::{build_system, SystemKind, SystemOpts};
 use prdma_node::{Cluster, ClusterConfig};
+use prdma_simnet::trace::TraceReport;
 use prdma_simnet::{Sim, SimDuration, SimTime};
 use prdma_workloads::micro::{run_micro, run_micro_merged, MicroConfig, RunResult};
 use prdma_workloads::ycsb::{run_ycsb, YcsbConfig};
@@ -102,7 +103,8 @@ fn saturate_cpu(sim: &Sim, cluster: &Cluster, node: usize) {
     let h2 = h.clone();
     h.spawn(async move {
         loop {
-            cpu.compute(SimDuration::from_micros(8)).await;
+            // Antagonist load: outside the latency breakdown.
+            cpu.compute_background(SimDuration::from_micros(8)).await;
             h2.sleep(SimDuration::from_micros(2)).await;
         }
     });
@@ -118,6 +120,17 @@ pub struct EnvResult {
     pub server_cpu_us_per_op: f64,
     /// Server PM media busy time per completed op (data persisting cost).
     pub server_media_us_per_op: f64,
+    /// Cluster-wide per-phase latency breakdown (Fig. 20's raw data).
+    pub trace: TraceReport,
+    /// Completed ops (for per-op normalization of trace totals).
+    pub ops: u64,
+}
+
+impl EnvResult {
+    /// Critical-path µs/op spent in `phase`.
+    pub fn phase_us_per_op(&self, phase: prdma_simnet::trace::Phase) -> f64 {
+        self.trace.total(phase).as_micros_f64() / self.ops.max(1) as f64
+    }
 }
 
 /// Run the micro-benchmark for `kind` under `env`.
@@ -140,6 +153,8 @@ pub fn micro_run(kind: SystemKind, env: &ExpEnv, cfg: MicroConfig) -> EnvResult 
         client_cpu_us_per_op: (client_cpu.busy_time() - cpu1_s).as_micros_f64() / ops,
         server_cpu_us_per_op: (server_cpu.busy_time() - cpu0_s).as_micros_f64() / ops,
         server_media_us_per_op: (server_pm.media_busy_time() - media_s).as_micros_f64() / ops,
+        trace: cluster.trace_report(),
+        ops: run.ops,
         run,
     }
 }
@@ -181,6 +196,8 @@ pub fn ycsb_run(kind: SystemKind, env: &ExpEnv, cfg: YcsbConfig) -> EnvResult {
         client_cpu_us_per_op: client_cpu.busy_time().as_micros_f64() / ops,
         server_cpu_us_per_op: server_cpu.busy_time().as_micros_f64() / ops,
         server_media_us_per_op: server_pm.media_busy_time().as_micros_f64() / ops,
+        trace: cluster.trace_report(),
+        ops: run.ops,
         run,
     }
 }

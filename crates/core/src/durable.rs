@@ -22,12 +22,13 @@ use std::rc::Rc;
 
 use prdma_node::{Cluster, Node};
 use prdma_rnic::{MemTarget, Payload, Qp, QpMode};
+use prdma_simnet::trace::{Phase, Role};
 use prdma_simnet::{channel, oneshot, OneshotSender, Receiver, Sender, SimDuration};
 
 use crate::flush::{FlushImpl, FlushOps};
 use crate::log::{
-    entry_data_part, LogCursor, LogEntry, LogLayout, OpCode, RedoLog, RemoteLogWriter,
-    RpcOperator, ENTRY_FOOTER, ENTRY_HEADER, LOG_HEADER_BYTES,
+    entry_data_part, LogCursor, LogEntry, LogLayout, OpCode, RedoLog, RemoteLogWriter, RpcOperator,
+    ENTRY_FOOTER, ENTRY_HEADER, LOG_HEADER_BYTES,
 };
 use crate::rpc::{Request, Response, RpcClient, RpcError, RpcFuture, RpcResult, ServerProfile};
 use crate::store::ObjectStore;
@@ -212,6 +213,10 @@ pub fn build_durable(
 ) -> (DurableClient, DurableServer) {
     let server = cluster.node(server_idx).clone();
     let client = cluster.node(client_idx).clone();
+    // Latency breakdown: software time on the client node is sender-side,
+    // on the server node receiver-side.
+    client.tracer().set_role(Role::Sender);
+    server.tracer().set_role(Role::Receiver);
 
     // Log region: one ring per connection (paper: per-connection log with
     // connection info in the header).
@@ -350,8 +355,17 @@ impl DurableServer {
                     // RC delivers in order: the i-th completion is entry i.
                     let index = arrived;
                     arrived += 1;
-                    handle_arrival(&shared, &node, &resp_qp, &log, index, c.payload, c.durable)
-                        .await;
+                    let arrival =
+                        handle_arrival(&shared, &node, &resp_qp, &log, index, c.payload, c.durable);
+                    if shared.kind.is_receiver_initiated() {
+                        // RFlush: the client waits for the persist-ACK this
+                        // path produces — it is on the critical path.
+                        arrival.await;
+                    } else {
+                        // SFlush: the client returned at the flush ACK;
+                        // arrival handling is decoupled.
+                        node.tracer().offpath_scope(arrival).await;
+                    }
                 }
             });
 
@@ -360,17 +374,16 @@ impl DurableServer {
             for i in 0..16u64 {
                 get_qp.post_recv(MemTarget::Dram(i % 16 * REQ_SLOT_BYTES));
             }
-            let node2 = self.node.clone();
             let mut slot = 16u64;
             h.spawn(async move {
                 loop {
                     let _c = get_qp.recv().await;
                     get_qp.post_recv(MemTarget::Dram(slot % 16 * REQ_SLOT_BYTES));
                     slot += 1;
-                    // Detection/parse cost; the matching Work::Get was
+                    // No CPU charge here: the matching Work::Get was
                     // enqueued by the client stub (descriptor bytes only
-                    // model the wire).
-                    node2.cpu.parse_request().await;
+                    // model the wire), and detection + dispatch is charged
+                    // once, in serve_get — same as the write-based path.
                 }
             });
         } else {
@@ -387,8 +400,14 @@ impl DurableServer {
             let log = self.log.clone();
             h.spawn(async move {
                 while let Some(a) = rx.recv().await {
-                    handle_arrival(&shared, &node, &resp_qp, &log, a.index, a.data, a.durable)
-                        .await;
+                    let arrival =
+                        handle_arrival(&shared, &node, &resp_qp, &log, a.index, a.data, a.durable);
+                    if shared.kind.is_receiver_initiated() {
+                        arrival.await;
+                    } else {
+                        // WFlush: decoupled from the client's flush ACK.
+                        node.tracer().offpath_scope(arrival).await;
+                    }
                 }
             });
         }
@@ -421,7 +440,13 @@ impl DurableServer {
                     let _permit = permit;
                     match work {
                         Work::Entry { index, data } => {
-                            process_entry(&node, &log, &store, &profile, index, data).await;
+                            // Processing is decoupled from the durability
+                            // ACK under every kind — off the critical path.
+                            node.tracer()
+                                .offpath_scope(process_entry(
+                                    &node, &log, &store, &profile, index, data,
+                                ))
+                                .await;
                             shared.puts_processed.set(shared.puts_processed.get() + 1);
                         }
                         Work::Get {
@@ -543,7 +568,9 @@ async fn serve_get(
     count: u32,
     reply: OneshotSender<Payload>,
 ) {
-    node.cpu.dispatch_thread().await;
+    // Read-only requests are served run-to-completion on the polling core
+    // (FaRM/HERD-style); only logged updates take the handler-pool hop.
+    node.cpu.poll_dispatch().await;
     if profile.processing_time > SimDuration::ZERO {
         node.cpu.compute(profile.processing_time).await;
     }
@@ -595,6 +622,9 @@ impl DurableClient {
             None
         };
 
+        // Composite span: the whole log-append + persistence-wait leg.
+        let _persist = self.client_node.tracer().span(Phase::LogPersist);
+
         if self.kind.is_send_based() {
             let appended = self.writer.append_send(op, &data).await?;
             match self.kind {
@@ -602,9 +632,11 @@ impl DurableClient {
                     self.writer.flush().sflush(appended.probe).await?;
                 }
                 DurableKind::SRFlush => {
+                    let wait = self.client_node.tracer().span(Phase::FlushWait);
                     if ack_rx.expect("registered").await.is_none() {
                         return Err(RpcError::ServerDown);
                     }
+                    wait.end();
                     self.client_node.cpu.poll_dispatch().await;
                 }
                 _ => unreachable!(),
@@ -632,9 +664,11 @@ impl DurableClient {
                     self.writer.flush().wflush(appended.probe).await?;
                 }
                 DurableKind::WRFlush => {
+                    let wait = self.client_node.tracer().span(Phase::FlushWait);
                     if ack_rx.expect("registered").await.is_none() {
                         return Err(RpcError::ServerDown);
                     }
+                    wait.end();
                     self.client_node.cpu.poll_dispatch().await;
                 }
                 _ => unreachable!(),
@@ -711,6 +745,8 @@ impl DurableClient {
             None
         };
 
+        let _persist = self.client_node.tracer().span(Phase::LogPersist);
+
         if self.kind.is_send_based() {
             // Sends cannot be doorbell-coalesced the same way; pipeline
             // them and flush/ack once at the end.
@@ -731,9 +767,11 @@ impl DurableClient {
                         .await?;
                 }
                 DurableKind::SRFlush => {
+                    let wait = self.client_node.tracer().span(Phase::FlushWait);
                     if ack_rx.expect("registered").await.is_none() {
                         return Err(RpcError::ServerDown);
                     }
+                    wait.end();
                     self.client_node.cpu.poll_dispatch().await;
                 }
                 _ => unreachable!(),
@@ -772,9 +810,11 @@ impl DurableClient {
                     self.writer.flush().wflush(last_probe).await?;
                 }
                 DurableKind::WRFlush => {
+                    let wait = self.client_node.tracer().span(Phase::FlushWait);
                     if ack_rx.expect("registered").await.is_none() {
                         return Err(RpcError::ServerDown);
                     }
+                    wait.end();
                     self.client_node.cpu.poll_dispatch().await;
                 }
                 _ => unreachable!(),
@@ -944,7 +984,11 @@ mod tests {
             );
             assert_eq!(server.puts_processed(), 0, "{kind:?} processed too early");
             sim.run();
-            assert_eq!(server.puts_processed(), 1, "{kind:?} must finish eventually");
+            assert_eq!(
+                server.puts_processed(),
+                1,
+                "{kind:?} must finish eventually"
+            );
         }
     }
 

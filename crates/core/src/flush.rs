@@ -18,6 +18,7 @@
 //! | `SFlush` | 7 µs address-lookup stall, then the read | drain + ACK after on-NIC address resolution |
 
 use prdma_rnic::{MemTarget, Qp, RdmaResult};
+use prdma_simnet::trace::{Phase, Span};
 use prdma_simnet::SimDuration;
 
 /// How the Flush primitives are realized (see module docs).
@@ -51,10 +52,23 @@ impl FlushOps {
         self.imp
     }
 
+    /// Composite span covering a whole flush round trip (its wire/DMA/media
+    /// constituents are also recorded under their exclusive phases).
+    fn flush_span(&self) -> Option<Span> {
+        self.qp.local().tracer().map(|t| t.span(Phase::FlushWait))
+    }
+
+    /// Address-resolution work done by the remote RNIC, attributed to its
+    /// node's NIC phase.
+    fn remote_nic_span(&self) -> Option<Span> {
+        self.qp.remote().tracer().map(|t| t.span(Phase::NicDma))
+    }
+
     /// `WFlush`: guarantee that all writes previously posted on this QP
     /// (up to and including the one ending at `probe`) are durable in the
     /// remote persistence domain. Resolves at the flush ACK.
     pub async fn wflush(&self, probe: MemTarget) -> RdmaResult<()> {
+        let _span = self.flush_span();
         match self.imp {
             FlushImpl::Emulated => {
                 // Read the last byte of the written data: PCIe ordering
@@ -68,12 +82,18 @@ impl FlushOps {
     /// `SFlush`: like `WFlush`, but accompanies an RDMA send — the remote
     /// RNIC must first resolve the destination address from the packet.
     pub async fn sflush(&self, probe: MemTarget) -> RdmaResult<()> {
+        let _span = self.flush_span();
         let addressing = self.qp.local().config().sflush_addressing;
         match self.imp {
             FlushImpl::Emulated => {
                 // The paper waits `sleep(0)` (~7 us, conservative) for the
-                // address lookup, then forces the flush with a read.
-                self.qp.local().handle().sleep(addressing).await;
+                // address lookup, then forces the flush with a read. The
+                // lookup is remote-RNIC work, so it counts as NIC time in
+                // the breakdown.
+                {
+                    let _nic = self.remote_nic_span();
+                    self.qp.local().handle().sleep(addressing).await;
+                }
                 self.qp.read_synthetic(probe, 1).await
             }
             FlushImpl::HardwareNative => {
@@ -94,6 +114,7 @@ impl FlushOps {
         // Flush command on the wire (header only).
         qp.flush_command().await?;
         if remote_extra > SimDuration::ZERO {
+            let _nic = self.remote_nic_span();
             qp.local().handle().sleep(remote_extra).await;
         }
         Ok(())
@@ -170,9 +191,6 @@ mod tests {
         });
         // SFlush pays ~7us of address-lookup on top of the read trip.
         let extra = t_s.saturating_sub(t_w);
-        assert!(
-            (6_500..8_500).contains(&extra.as_nanos()),
-            "extra {extra}"
-        );
+        assert!((6_500..8_500).contains(&extra.as_nanos()), "extra {extra}");
     }
 }

@@ -102,7 +102,10 @@ impl LogLayout {
     /// # Panics
     /// Panics if the region cannot hold the header and at least two slots.
     pub fn new(region: PmRegion, slot_size: u64) -> Self {
-        assert!(slot_size >= ENTRY_HEADER + ENTRY_FOOTER + 8, "slot too small");
+        assert!(
+            slot_size >= ENTRY_HEADER + ENTRY_FOOTER + 8,
+            "slot too small"
+        );
         assert_eq!(slot_size % 8, 0, "slot size must be 8-byte aligned");
         let slots = (region.len - LOG_HEADER_BYTES) / slot_size;
         assert!(slots >= 2, "log region too small for 2 slots");
@@ -360,6 +363,12 @@ impl RedoLog {
         if head != self.cursor.head() {
             self.cursor.set_head(head);
             if head - self.persisted_head.get() >= self.head_persist_interval.get() {
+                // Log maintenance: composite LogPersist span on top of the
+                // PmMedia time the flush itself records.
+                let _span = self
+                    .pm
+                    .tracer()
+                    .map(|t| t.span(prdma_simnet::trace::Phase::LogPersist));
                 let head_addr = self.layout.region.offset;
                 self.pm.cache_write(head_addr, &head.to_le_bytes())?;
                 self.pm.clflush(head_addr, 8).await?;
@@ -557,7 +566,10 @@ mod tests {
     fn fixture(sim: &Sim) -> (RemoteLogWriter, RedoLog, Cluster) {
         let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(2));
         let server = cluster.node(0);
-        let region = server.alloc.alloc("log", LOG_HEADER_BYTES + 8 * 1024, 64).unwrap();
+        let region = server
+            .alloc
+            .alloc("log", LOG_HEADER_BYTES + 8 * 1024, 64)
+            .unwrap();
         let layout = LogLayout::new(region, 1024);
         let cursor = LogCursor::new();
         let (qc, _qs) = cluster.connect(1, 0, QpMode::Rc);
@@ -770,10 +782,7 @@ mod tests {
     fn encode_entry_sizes_are_consistent() {
         let data = Payload::synthetic(100, 5);
         let image = encode_entry(3, put(9), &data);
-        assert_eq!(
-            image.len(),
-            ENTRY_HEADER + align8(100) + ENTRY_FOOTER
-        );
+        assert_eq!(image.len(), ENTRY_HEADER + align8(100) + ENTRY_FOOTER);
         assert_eq!(LogLayout::commit_offset(100), ENTRY_HEADER + 104);
     }
 }
@@ -811,7 +820,8 @@ mod torn_entry_tests {
             );
             pm.simulate_write_time(img.len()).await;
             for (off, bytes) in img.inline_parts() {
-                pm.commit_persistent(layout.slot_addr(0) + off, bytes).unwrap();
+                pm.commit_persistent(layout.slot_addr(0) + off, bytes)
+                    .unwrap();
             }
             // Entry 1: torn — header + data landed, commit word did not
             // (the DMA was cut by the power failure before its last 8B).
@@ -831,7 +841,8 @@ mod torn_entry_tests {
                 } else {
                     bytes
                 };
-                pm.commit_persistent(layout.slot_addr(1) + off, bytes).unwrap();
+                pm.commit_persistent(layout.slot_addr(1) + off, bytes)
+                    .unwrap();
             }
             // Entry 2: fully valid — but unreachable past the tear.
             let img = encode_entry(
@@ -843,7 +854,8 @@ mod torn_entry_tests {
                 &Payload::from_bytes(vec![0xCC; 32]),
             );
             for (off, bytes) in img.inline_parts() {
-                pm.commit_persistent(layout.slot_addr(2) + off, bytes).unwrap();
+                pm.commit_persistent(layout.slot_addr(2) + off, bytes)
+                    .unwrap();
             }
         });
         let pending = log.recover();
@@ -880,7 +892,8 @@ mod torn_entry_tests {
                 &Payload::from_bytes(vec![1; 16]),
             );
             for (off, bytes) in img.inline_parts() {
-                pm.commit_persistent(layout.slot_addr(0) + off, bytes).unwrap();
+                pm.commit_persistent(layout.slot_addr(0) + off, bytes)
+                    .unwrap();
             }
             // ...but the durable head says we are already at lap 1.
             pm.commit_persistent(layout.region.offset, &slots.to_le_bytes())

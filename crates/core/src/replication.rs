@@ -67,9 +67,10 @@ impl ReplicatedClient {
         for r in &self.replicas {
             let r = Rc::clone(r);
             let data = data.clone();
-            joins.push(self.handle.spawn(async move {
-                r.call(Request::Put { obj, data }).await
-            }));
+            joins.push(
+                self.handle
+                    .spawn(async move { r.call(Request::Put { obj, data }).await }),
+            );
         }
         let mut last = None;
         for j in joins {
@@ -188,7 +189,10 @@ mod tests {
                 })
                 .await
                 .unwrap();
-            client.call(Request::Get { obj: 4, len: 512 }).await.unwrap()
+            client
+                .call(Request::Get { obj: 4, len: 512 })
+                .await
+                .unwrap()
         });
         assert_eq!(got.payload.unwrap().len(), 512);
     }

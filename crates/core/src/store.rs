@@ -112,8 +112,12 @@ mod tests {
         let store = store_fixture(&sim);
         let s = store.clone();
         sim.block_on(async move {
-            s.put(0, &Payload::from_bytes(vec![0xAA; 16])).await.unwrap();
-            s.put(1, &Payload::from_bytes(vec![0xBB; 16])).await.unwrap();
+            s.put(0, &Payload::from_bytes(vec![0xAA; 16]))
+                .await
+                .unwrap();
+            s.put(1, &Payload::from_bytes(vec![0xBB; 16]))
+                .await
+                .unwrap();
             assert_eq!(s.get_bytes(0, 16).await.unwrap(), vec![0xAA; 16]);
             assert_eq!(s.get_bytes(1, 16).await.unwrap(), vec![0xBB; 16]);
         });

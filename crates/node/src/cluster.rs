@@ -2,6 +2,7 @@
 
 use prdma_pmem::{DaxAllocator, PmConfig, PmDevice, VolatileMemory};
 use prdma_rnic::{Fabric, NodeId, Qp, QpMode, Rnic, RnicConfig};
+use prdma_simnet::trace::{TraceReport, Tracer};
 use prdma_simnet::SimHandle;
 
 use crate::cpu::{CpuConfig, CpuModel};
@@ -62,12 +63,19 @@ pub struct Node {
     /// DAX region allocator over `pm`.
     pub alloc: DaxAllocator,
     rnic: Rnic,
+    tracer: Tracer,
 }
 
 impl Node {
     /// The node's RNIC.
     pub fn rnic(&self) -> &Rnic {
         &self.rnic
+    }
+
+    /// The node's latency-breakdown tracer, shared by its CPU, PM device,
+    /// and RNIC. System builders assign its role (sender/receiver).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Crash this node: RNIC SRAM, DRAM, and dirty LLC lines are lost;
@@ -115,13 +123,21 @@ impl Cluster {
             let id = fabric.add_node(pm.clone(), dram.clone());
             let cpu = CpuModel::new(handle.clone(), cfg.cpu.clone());
             let alloc = DaxAllocator::new(&pm);
+            let rnic = fabric.rnic(id);
+            // One tracer per node, shared by every component so the
+            // latency breakdown sees the whole node's activity.
+            let tracer = Tracer::new(handle.clone());
+            pm.set_tracer(&tracer);
+            cpu.set_tracer(&tracer);
+            rnic.set_tracer(&tracer);
             nodes.push(Node {
                 id,
                 pm,
                 dram,
                 cpu,
                 alloc,
-                rnic: fabric.rnic(id),
+                rnic,
+                tracer,
             });
         }
         Cluster {
@@ -154,6 +170,15 @@ impl Cluster {
     /// True if the cluster has no nodes.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Merge every node's trace into one cluster-wide breakdown report.
+    pub fn trace_report(&self) -> TraceReport {
+        let mut report = TraceReport::new();
+        for node in &self.nodes {
+            report.merge(&node.tracer.report());
+        }
+        report
     }
 
     /// Connect nodes `a` and `b` with a QP pair; the client-side QP (first
@@ -215,7 +240,8 @@ mod tests {
                 let h = sim.handle();
                 sim.spawn(async move {
                     loop {
-                        cpu.compute(prdma_simnet::SimDuration::from_micros(40)).await;
+                        cpu.compute(prdma_simnet::SimDuration::from_micros(40))
+                            .await;
                         h.sleep(prdma_simnet::SimDuration::from_micros(2)).await;
                     }
                 });

@@ -2,13 +2,18 @@
 //! injection, and costs for the software operations RPC systems perform
 //! (polling dispatch, memcpy, request parsing).
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use prdma_simnet::trace::{Span, Tracer};
 use prdma_simnet::{FifoResource, SimDuration, SimHandle};
 
 /// CPU timing/geometry parameters.
 ///
 /// Defaults approximate one socket of the paper's testbed (Xeon Gold 6230,
 /// 20 cores, 2.1 GHz): a polling thread detects and dispatches an incoming
-/// message in a few hundred nanoseconds; memcpy moves ~10 GB/s per core.
+/// message in 100–200 ns (a cache-line poll hit plus a branch to the
+/// handler); memcpy moves ~10 GB/s per core.
 #[derive(Debug, Clone)]
 pub struct CpuConfig {
     /// Number of cores available to the RPC runtime.
@@ -22,7 +27,8 @@ pub struct CpuConfig {
     pub parse_request: SimDuration,
     /// Single-core memcpy bandwidth in Gbit/s (~10 GB/s).
     pub memcpy_gbps: f64,
-    /// Cost to spawn/schedule a handler thread for an RPC.
+    /// Cost to hand an RPC to a pooled handler thread (enqueue + wake; the
+    /// pool is pre-spawned, so this is scheduling, not thread creation).
     pub dispatch_thread: SimDuration,
 }
 
@@ -30,10 +36,10 @@ impl Default for CpuConfig {
     fn default() -> Self {
         CpuConfig {
             cores: 8,
-            poll_dispatch: SimDuration::from_nanos(200),
+            poll_dispatch: SimDuration::from_nanos(100),
             parse_request: SimDuration::from_nanos(1_500),
             memcpy_gbps: 80.0,
-            dispatch_thread: SimDuration::from_nanos(500),
+            dispatch_thread: SimDuration::from_nanos(300),
         }
     }
 }
@@ -43,13 +49,28 @@ impl Default for CpuConfig {
 pub struct CpuModel {
     cfg: CpuConfig,
     cores: FifoResource,
+    tracer: Rc<RefCell<Option<Tracer>>>,
 }
 
 impl CpuModel {
     /// Build a CPU with `cfg.cores` cores.
     pub fn new(handle: SimHandle, cfg: CpuConfig) -> Self {
         let cores = FifoResource::new(handle, cfg.cores.max(1));
-        CpuModel { cfg, cores }
+        CpuModel {
+            cfg,
+            cores,
+            tracer: Rc::new(RefCell::new(None)),
+        }
+    }
+
+    /// Attach the owning node's latency tracer; CPU time is recorded as
+    /// sender- or receiver-side software per the tracer's role.
+    pub fn set_tracer(&self, tracer: &Tracer) {
+        *self.tracer.borrow_mut() = Some(tracer.clone());
+    }
+
+    fn sw_span(&self) -> Option<Span> {
+        self.tracer.borrow().as_ref().map(|t| t.span_sw())
     }
 
     /// This CPU's configuration.
@@ -64,27 +85,38 @@ impl CpuModel {
 
     /// Run `work` of computation on one core (queueing when all are busy).
     pub async fn compute(&self, work: SimDuration) {
+        let _span = self.sw_span();
+        self.cores.process(work).await;
+    }
+
+    /// Like [`compute`](Self::compute), but outside the latency breakdown —
+    /// for background/antagonist load that is not part of any RPC.
+    pub async fn compute_background(&self, work: SimDuration) {
         self.cores.process(work).await;
     }
 
     /// The cost of noticing a message via memory polling and dispatching it.
     pub async fn poll_dispatch(&self) {
+        let _span = self.sw_span();
         self.cores.process(self.cfg.poll_dispatch).await;
     }
 
     /// Parse a two-sided request (header decode, handler lookup).
     pub async fn parse_request(&self) {
+        let _span = self.sw_span();
         self.cores.process(self.cfg.parse_request).await;
     }
 
     /// Copy `bytes` between buffers on one core.
     pub async fn memcpy(&self, bytes: u64) {
         let t = prdma_simnet::transfer_time(bytes, self.cfg.memcpy_gbps);
+        let _span = self.sw_span();
         self.cores.process(t).await;
     }
 
     /// Spawn/schedule a handler thread for an RPC.
     pub async fn dispatch_thread(&self) {
+        let _span = self.sw_span();
         self.cores.process(self.cfg.dispatch_thread).await;
     }
 

@@ -11,6 +11,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
+use prdma_simnet::trace::{Phase, Span, Tracer};
 use prdma_simnet::{FifoResource, SimDuration, SimHandle};
 
 use crate::config::PmConfig;
@@ -58,6 +59,8 @@ struct PmInner {
     media_port: FifoResource,
     bytes_persisted: Cell<u64>,
     crashes: Cell<u64>,
+    /// Latency-breakdown sink (the node's tracer, once attached).
+    tracer: RefCell<Option<Tracer>>,
 }
 
 /// A simulated persistent-memory device. Cheap to clone (shared handle).
@@ -79,7 +82,34 @@ impl PmDevice {
                 cfg,
                 bytes_persisted: Cell::new(0),
                 crashes: Cell::new(0),
+                tracer: RefCell::new(None),
             }),
+        }
+    }
+
+    /// Attach the owning node's latency tracer; media service time is
+    /// recorded as [`Phase::PmMedia`] from then on.
+    pub fn set_tracer(&self, tracer: &Tracer) {
+        *self.inner.tracer.borrow_mut() = Some(tracer.clone());
+    }
+
+    /// The attached tracer, if any (lets layers above the device — e.g.
+    /// the redo log — record composite phases against the same sink).
+    pub fn tracer(&self) -> Option<Tracer> {
+        self.inner.tracer.borrow().clone()
+    }
+
+    fn media_span(&self) -> Option<Span> {
+        self.inner
+            .tracer
+            .borrow()
+            .as_ref()
+            .map(|t| t.span(Phase::PmMedia))
+    }
+
+    fn trace_incr(&self, name: &'static str) {
+        if let Some(t) = self.inner.tracer.borrow().as_ref() {
+            t.incr(name);
         }
     }
 
@@ -121,7 +151,10 @@ impl PmDevice {
     pub async fn dma_write_persistent(&self, addr: u64, data: &[u8]) -> Result<(), PmError> {
         self.check(addr, data.len() as u64)?;
         let t = self.media_write_time(data.len() as u64);
-        self.inner.media_port.process(t).await;
+        {
+            let _span = self.media_span();
+            self.inner.media_port.process(t).await;
+        }
         // DMA snoops the cache: overlapping dirty lines are invalidated
         // (commit_persistent does both the media write and the snoop).
         self.commit_persistent(addr, data)?;
@@ -136,7 +169,10 @@ impl PmDevice {
     /// schedule matters. Occupies a media port like a real write.
     pub async fn simulate_write_time(&self, len: u64) {
         let t = self.media_write_time(len);
-        self.inner.media_port.process(t).await;
+        {
+            let _span = self.media_span();
+            self.inner.media_port.process(t).await;
+        }
         self.inner
             .bytes_persisted
             .set(self.inner.bytes_persisted.get() + len);
@@ -171,6 +207,7 @@ impl PmDevice {
     /// Model the time of a media read of `len` bytes without copying.
     pub async fn simulate_read_time(&self, len: u64) {
         let t = self.media_read_time(len);
+        let _span = self.media_span();
         self.inner.media_port.process(t).await;
     }
 
@@ -180,9 +217,14 @@ impl PmDevice {
         if len == 0 {
             return;
         }
+        self.trace_incr("clflush_calls");
+        let _span = self.media_span();
         let line = self.inner.cfg.cacheline;
         let lines = len.div_ceil(line);
-        self.inner.handle.sleep(self.inner.cfg.clflush_issue * lines).await;
+        self.inner
+            .handle
+            .sleep(self.inner.cfg.clflush_issue * lines)
+            .await;
         let t = self.media_write_time(lines * line);
         self.inner.media_port.process(t).await;
         self.inner
@@ -241,6 +283,8 @@ impl PmDevice {
         if lines.is_empty() {
             return Ok(());
         }
+        self.trace_incr("clflush_calls");
+        let _span = self.media_span();
         // Issue cost per line on the CPU, then one media transfer.
         let issue = self.inner.cfg.clflush_issue * lines.len() as u64;
         self.inner.handle.sleep(issue).await;
@@ -259,6 +303,7 @@ impl PmDevice {
         let cached = self.covered_by_cache(addr, len);
         if !cached {
             let t = self.media_read_time(len);
+            let _span = self.media_span();
             self.inner.media_port.process(t).await;
         }
         Ok(self.read_volatile_view(addr, len))
@@ -304,7 +349,12 @@ impl PmDevice {
         let line = self.inner.cfg.cacheline;
         let first = addr / line;
         let last = (addr + len - 1) / line;
-        self.inner.dirty.borrow().range(first..=last).next().is_none()
+        self.inner
+            .dirty
+            .borrow()
+            .range(first..=last)
+            .next()
+            .is_none()
     }
 
     /// Power failure: every dirty cache line is lost; media is retained.
@@ -480,10 +530,15 @@ mod tests {
         let pm = small_device(&sim);
         let pm2 = pm.clone();
         sim.block_on(async move {
-            pm2.dma_write_atomic_u64(8, 0xDEAD_BEEF_CAFE_F00D).await.unwrap();
+            pm2.dma_write_atomic_u64(8, 0xDEAD_BEEF_CAFE_F00D)
+                .await
+                .unwrap();
         });
         let b = pm.read_persistent_view(8, 8);
-        assert_eq!(u64::from_le_bytes(b.try_into().unwrap()), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(
+            u64::from_le_bytes(b.try_into().unwrap()),
+            0xDEAD_BEEF_CAFE_F00D
+        );
     }
 
     #[test]

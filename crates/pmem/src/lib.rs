@@ -30,11 +30,11 @@
 #![warn(missing_docs)]
 
 mod config;
-mod dram;
 mod device;
+mod dram;
 mod region;
 
 pub use config::PmConfig;
-pub use dram::VolatileMemory;
 pub use device::{PmDevice, PmError};
+pub use dram::VolatileMemory;
 pub use region::{AllocError, DaxAllocator, PmRegion};

@@ -64,7 +64,10 @@ impl std::fmt::Display for AllocError {
             AllocError::OutOfSpace {
                 requested,
                 available,
-            } => write!(f, "PM out of space: requested {requested}, available {available}"),
+            } => write!(
+                f,
+                "PM out of space: requested {requested}, available {available}"
+            ),
             AllocError::NameTaken(n) => write!(f, "PM region name already taken: {n}"),
         }
     }

@@ -1,10 +1,13 @@
 //! Property-based tests of the PM device's persistence semantics: for any
 //! interleaving of DMA writes, cache writes, flushes, and crashes, the
 //! persistence domain must behave like real PM.
-
-use proptest::prelude::*;
+//!
+//! Cases are generated with the in-tree deterministic `SmallRng` rather
+//! than an external property-testing framework, so the suite builds
+//! offline and every failure is reproducible from the printed case seed.
 
 use prdma_pmem::{PmConfig, PmDevice};
+use prdma_simnet::rng::SmallRng;
 use prdma_simnet::Sim;
 
 const CAP: u64 = 8 * 1024;
@@ -21,24 +24,35 @@ enum Op {
     Crash,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..CAP - 256, 1u64..256, any::<u8>())
-            .prop_map(|(addr, len, fill)| Op::DmaWrite { addr, len, fill }),
-        (0..CAP - 256, 1u64..256, any::<u8>())
-            .prop_map(|(addr, len, fill)| Op::CacheWrite { addr, len, fill }),
-        (0..CAP - 256, 1u64..256).prop_map(|(addr, len)| Op::Clflush { addr, len }),
-        Just(Op::Crash),
-    ]
+fn random_op(rng: &mut SmallRng) -> Op {
+    match rng.gen_range(0u32..4) {
+        0 => Op::DmaWrite {
+            addr: rng.gen_range(0..CAP - 256),
+            len: rng.gen_range(1u64..256),
+            fill: rng.gen_range(0u32..=255) as u8,
+        },
+        1 => Op::CacheWrite {
+            addr: rng.gen_range(0..CAP - 256),
+            len: rng.gen_range(1u64..256),
+            fill: rng.gen_range(0u32..=255) as u8,
+        },
+        2 => Op::Clflush {
+            addr: rng.gen_range(0..CAP - 256),
+            len: rng.gen_range(1u64..256),
+        },
+        _ => Op::Crash,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A shadow model over two byte arrays (media, cache-overlay) must agree
+/// with the device after any op sequence.
+#[test]
+fn device_matches_shadow_model() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0x0DEF_ACED + case);
+        let n = rng.gen_range(1usize..40);
+        let ops: Vec<Op> = (0..n).map(|_| random_op(&mut rng)).collect();
 
-    /// A shadow model over two byte arrays (media, cache-overlay) must
-    /// agree with the device after any op sequence.
-    #[test]
-    fn device_matches_shadow_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
         let mut sim = Sim::new(1);
         let pm = PmDevice::new(sim.handle(), PmConfig::with_capacity(CAP));
         let pm2 = pm.clone();
@@ -114,7 +128,7 @@ proptest! {
 
         // Compare persistent views byte for byte.
         let got = pm.read_persistent_view(0, CAP);
-        prop_assert_eq!(&got, &media, "persistent view diverged");
+        assert_eq!(&got, &media, "case {case}: persistent view diverged");
 
         // Volatile view = overlay over media... except cache lines are
         // whole-line granular: a cache write pulls the whole line, so the
@@ -123,14 +137,20 @@ proptest! {
         let vol = pm.read_volatile_view(0, CAP);
         for i in 0..CAP as usize {
             let want = overlay[i].unwrap_or(media[i]);
-            prop_assert_eq!(vol[i], want, "volatile divergence at {}", i);
+            assert_eq!(vol[i], want, "case {case}: volatile divergence at {i}");
         }
     }
+}
 
-    /// `is_persisted` is monotone under clflush and crash: after flushing
-    /// a range (or crashing), the range reports persisted.
-    #[test]
-    fn flush_then_persisted(addr in 0..CAP - 512, len in 1u64..512) {
+/// `is_persisted` is monotone under clflush and crash: after flushing a
+/// range (or crashing), the range reports persisted.
+#[test]
+fn flush_then_persisted() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xF1A5_4000 + case);
+        let addr = rng.gen_range(0..CAP - 512);
+        let len = rng.gen_range(1u64..512);
+
         let mut sim = Sim::new(2);
         let pm = PmDevice::new(sim.handle(), PmConfig::with_capacity(CAP));
         let pm2 = pm.clone();
@@ -140,6 +160,10 @@ proptest! {
             pm2.clflush(addr, len).await.unwrap();
             assert!(pm2.is_persisted(addr, len));
         });
-        prop_assert_eq!(pm.read_persistent_view(addr, len), vec![0xAB; len as usize]);
+        assert_eq!(
+            pm.read_persistent_view(addr, len),
+            vec![0xAB; len as usize],
+            "case {case}"
+        );
     }
 }

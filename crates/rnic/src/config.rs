@@ -2,9 +2,11 @@
 //!
 //! Defaults are calibrated against the paper's testbed (Mellanox
 //! ConnectX-4, 40/56 GbE) and its Fig. 20 latency breakdown: a small RC
-//! write completes in ~3–4 µs round trip; verbs-post software costs are a
-//! few hundred nanoseconds; two-sided operations pay extra receiver-side
-//! software cost, making DaRPC's effective RTT roughly twice FaRM's.
+//! write completes in ~2.5–3 µs round trip; verbs-post software costs are
+//! on the order of 100 ns (FaSST/HERD measure 65–100 ns per post);
+//! two-sided operations additionally pay recv-WQE fetches (a PCIe read
+//! round trip) and CQE delivery DMA on the hardware path, which is what
+//! makes DaRPC's RTT roughly twice FaRM's while remaining software-light.
 
 use prdma_simnet::SimDuration;
 
@@ -13,16 +15,18 @@ use prdma_simnet::SimDuration;
 pub struct RnicConfig {
     /// Link bandwidth in Gbit/s (paper: 40/56 GbE; default 40).
     pub link_gbps: f64,
-    /// One-way propagation + switch delay.
+    /// One-way propagation + switch delay (single ToR switch: ~300 ns
+    /// cut-through + cable/PHY).
     pub propagation: SimDuration,
     /// Wire/transport header bytes added to every message.
     pub header_bytes: u64,
     /// Size of an RC hardware ACK on the wire.
     pub ack_bytes: u64,
-    /// Sender software cost to post a one-sided WQE (write/read).
+    /// Sender software cost to post a one-sided WQE (write/read);
+    /// FaSST/HERD measure 65–100 ns per post.
     pub post_onesided: SimDuration,
     /// Sender software cost to post a two-sided WQE (send), which also
-    /// covers recv-WQE management on the sender.
+    /// covers (batch-amortized) recv-WQE replenishment on the sender.
     pub post_twosided: SimDuration,
     /// Additional per-WQE cost when posting to a doorbell in a batch
     /// (amortized fraction of a full post).
@@ -31,7 +35,9 @@ pub struct RnicConfig {
     pub nic_process: SimDuration,
     /// Number of parallel RNIC processing units.
     pub nic_units: usize,
-    /// PCIe DMA setup latency per transfer.
+    /// One-way PCIe traversal latency. Posted writes (payload DMA, CQE
+    /// delivery) pay it once; reads (recv-WQE fetches, RDMA-read DMA)
+    /// pay a request + completion round trip (2x).
     pub pcie_latency: SimDuration,
     /// PCIe bandwidth in Gbit/s (x16 Gen3 ~ 128 Gbit/s).
     pub pcie_gbps: f64,
@@ -67,15 +73,15 @@ impl Default for RnicConfig {
     fn default() -> Self {
         RnicConfig {
             link_gbps: 40.0,
-            propagation: SimDuration::from_nanos(900),
+            propagation: SimDuration::from_nanos(500),
             header_bytes: 60,
             ack_bytes: 20,
-            post_onesided: SimDuration::from_nanos(250),
-            post_twosided: SimDuration::from_nanos(450),
+            post_onesided: SimDuration::from_nanos(70),
+            post_twosided: SimDuration::from_nanos(150),
             post_batched_extra: SimDuration::from_nanos(60),
             nic_process: SimDuration::from_nanos(150),
             nic_units: 4,
-            pcie_latency: SimDuration::from_nanos(300),
+            pcie_latency: SimDuration::from_nanos(350),
             pcie_gbps: 128.0,
             dma_units: 4,
             recv_dispatch: SimDuration::from_nanos(400),

@@ -58,12 +58,7 @@ impl Fabric {
 
     /// Register a node with its memories; returns its id.
     pub fn add_node(&self, pm: PmDevice, dram: VolatileMemory) -> NodeId {
-        let rnic = Rnic::new(
-            self.inner.handle.clone(),
-            self.inner.cfg.clone(),
-            pm,
-            dram,
-        );
+        let rnic = Rnic::new(self.inner.handle.clone(), self.inner.cfg.clone(), pm, dram);
         let mut nodes = self.inner.nodes.borrow_mut();
         nodes.push(rnic);
         NodeId(nodes.len() - 1)

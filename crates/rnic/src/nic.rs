@@ -6,6 +6,7 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use prdma_pmem::{PmDevice, VolatileMemory};
+use prdma_simnet::trace::{Phase, Span, Tracer};
 use prdma_simnet::{FifoResource, Notify, SimDuration, SimHandle};
 
 use crate::config::RnicConfig;
@@ -83,6 +84,8 @@ struct RnicInner {
     /// Incremented on every crash; lets protocols detect restarts.
     epoch: Cell<u64>,
     msgs_processed: Cell<u64>,
+    /// Latency-breakdown sink (the node's tracer, once attached).
+    tracer: std::cell::RefCell<Option<Tracer>>,
 }
 
 /// One RDMA NIC attached to a node's PM and DRAM. Cheap to clone.
@@ -112,7 +115,31 @@ impl Rnic {
                 up: Cell::new(true),
                 epoch: Cell::new(0),
                 msgs_processed: Cell::new(0),
+                tracer: std::cell::RefCell::new(None),
             }),
+        }
+    }
+
+    /// Attach the owning node's latency tracer: packet-engine time is
+    /// recorded as [`Phase::Wire`], DMA-engine time as [`Phase::NicDma`],
+    /// and posted-write drains as [`Phase::FlushWait`].
+    pub fn set_tracer(&self, tracer: &Tracer) {
+        *self.inner.tracer.borrow_mut() = Some(tracer.clone());
+    }
+
+    /// The attached tracer, if any (shared with the QP layer, which
+    /// records verb-post software costs and wire legs against it).
+    pub fn tracer(&self) -> Option<Tracer> {
+        self.inner.tracer.borrow().clone()
+    }
+
+    fn span(&self, phase: Phase) -> Option<Span> {
+        self.inner.tracer.borrow().as_ref().map(|t| t.span(phase))
+    }
+
+    fn trace_incr(&self, name: &'static str) {
+        if let Some(t) = self.inner.tracer.borrow().as_ref() {
+            t.incr(name);
         }
     }
 
@@ -138,6 +165,7 @@ impl Rnic {
 
     /// Occupy one packet-processing engine for the per-message cost.
     pub async fn process_message(&self) {
+        let _span = self.span(Phase::Wire);
         self.inner.engine.process(self.inner.cfg.nic_process).await;
         self.inner
             .msgs_processed
@@ -148,7 +176,9 @@ impl Rnic {
     pub fn sram_admit(&self, len: u64) {
         let now = self.inner.sram_bytes.get() + len;
         self.inner.sram_bytes.set(now);
-        self.inner.sram_peak.set(self.inner.sram_peak.get().max(now));
+        self.inner
+            .sram_peak
+            .set(self.inner.sram_peak.get().max(now));
     }
 
     /// Release staged bytes after DMA completes.
@@ -201,7 +231,10 @@ impl Rnic {
         // Power-failure semantics: if the node crashes while this DMA is in
         // flight, the transfer is aborted and nothing reaches memory.
         let epoch = self.inner.epoch.get();
-        self.inner.dma.process(pcie).await;
+        {
+            let _span = self.span(Phase::NicDma);
+            self.inner.dma.process(pcie).await;
+        }
         if self.inner.epoch.get() != epoch || !self.inner.up.get() {
             return Ok(false);
         }
@@ -215,11 +248,13 @@ impl Rnic {
             MemTarget::Pm(addr) => {
                 if self.inner.cfg.ddio {
                     // DDIO routes the DMA into the LLC: volatile.
+                    self.trace_incr("ddio_dma_writes");
                     for (off, bytes) in payload.inline_parts() {
                         self.inner.pm.cache_write(addr + off, bytes)?;
                     }
                     Ok(false)
                 } else {
+                    self.trace_incr("direct_dma_writes");
                     // Straight to the persistence domain: pay the media
                     // time for the whole transfer, then place the content.
                     // A crash during the media write aborts the whole
@@ -245,9 +280,13 @@ impl Rnic {
     /// `WFlush` (read-after-write) exploits.
     pub async fn dma_read(&self, target: MemTarget, len: u64, inline: bool) -> RdmaResult<Payload> {
         self.drain_posted_writes().await;
-        let pcie = self.inner.cfg.pcie_latency
+        // A DMA read is a request/completion round trip over the bus.
+        let pcie = self.inner.cfg.pcie_latency * 2
             + prdma_simnet::transfer_time(len, self.inner.cfg.pcie_gbps);
-        self.inner.dma.process(pcie).await;
+        {
+            let _span = self.span(Phase::NicDma);
+            self.inner.dma.process(pcie).await;
+        }
         match target {
             MemTarget::Dram(addr) => {
                 if inline {
@@ -269,7 +308,24 @@ impl Rnic {
     }
 
     /// PCIe fetch of a posted recv WQE (two-sided delivery prologue).
+    /// A fetch is a PCIe *read*: request + completion, two bus traversals.
     pub async fn fetch_recv_wqe(&self) {
+        self.trace_incr("recv_wqe_fetches");
+        let _span = self.span(Phase::NicDma);
+        self.inner
+            .dma
+            .process(self.inner.cfg.pcie_latency * 2)
+            .await;
+    }
+
+    /// DMA the completion-queue entry of a delivered two-sided (or
+    /// write-imm) message to host memory. The CPU cannot observe the
+    /// completion before the CQE lands — this is part of why two-sided
+    /// transports pay a higher hardware RTT than one-sided write + poll
+    /// (paper Fig. 20: DaRPC vs FaRM).
+    pub async fn dma_write_cqe(&self) {
+        self.trace_incr("cqe_dma_writes");
+        let _span = self.span(Phase::NicDma);
         self.inner.dma.process(self.inner.cfg.pcie_latency).await;
     }
 
@@ -295,10 +351,14 @@ impl Rnic {
     /// barrier, not a quiescence requirement).
     pub async fn drain_posted_writes(&self) {
         let barrier = self.inner.next_dma_ticket.get();
+        // Only an actual wait is a flush stall; instantaneous drains
+        // (nothing posted) stay out of the FlushWait distribution.
+        let mut span: Option<Span> = None;
         loop {
             let oldest = self.inner.active_dma.borrow().iter().next().copied();
             match oldest {
                 Some(t) if t < barrier => {
+                    span = span.or_else(|| self.span(Phase::FlushWait));
                     self.inner.dma_drained.notified().await;
                 }
                 _ => return,

@@ -16,9 +16,7 @@ use std::rc::Rc;
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
+use crate::rng::SmallRng;
 use crate::time::{SimDuration, SimTime};
 
 /// Queue of task ids made runnable by wakers.
@@ -33,7 +31,10 @@ struct ReadyQueue {
 
 impl ReadyQueue {
     fn push(&self, id: usize) {
-        self.queue.lock().expect("ready queue poisoned").push_back(id);
+        self.queue
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(id);
     }
 
     fn pop(&self) -> Option<usize> {

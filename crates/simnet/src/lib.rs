@@ -15,6 +15,8 @@
 //! * [`FifoResource`] / [`SharedLink`] — queueing-theoretic building blocks
 //!   for CPUs, DMA engines, and network wires.
 //! * [`Histogram`] — HDR-style log-linear latency recording.
+//! * [`Tracer`] / [`Span`] — zero-cost per-phase latency tracing against
+//!   the virtual clock (the paper's Fig. 20 breakdown layer).
 //!
 //! Everything is deterministic: a [`Sim`] seeded identically replays the
 //! exact same event ordering, which the test suites rely on.
@@ -42,16 +44,19 @@ mod channel;
 mod combinator;
 mod executor;
 mod resource;
+pub mod rng;
 mod stats;
 mod sync;
 mod time;
+pub mod trace;
 
-pub use combinator::{select2, timeout, Either, Elapsed, Timeout};
 pub use channel::{
     channel, oneshot, OneshotReceiver, OneshotSender, Receiver, Recv, SendError, Sender,
 };
+pub use combinator::{select2, timeout, Either, Elapsed, Timeout};
 pub use executor::{JoinHandle, Sim, SimHandle, Sleep, YieldNow};
 pub use resource::{FifoResource, SharedLink};
 pub use stats::{Histogram, Summary};
 pub use sync::{Acquire, Notified, Notify, SemPermit, Semaphore};
 pub use time::{transfer_time, SimDuration, SimTime};
+pub use trace::{Phase, Role, Span, TraceReport, Tracer};

@@ -284,7 +284,10 @@ impl Future for Notified {
 impl Drop for Notified {
     fn drop(&mut self) {
         if let Some(id) = self.id {
-            self.state.borrow_mut().waiters.retain(|(wid, _)| *wid != id);
+            self.state
+                .borrow_mut()
+                .waiters
+                .retain(|(wid, _)| *wid != id);
         }
     }
 }

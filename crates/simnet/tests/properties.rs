@@ -1,18 +1,23 @@
 //! Property-based tests of the simulation engine's invariants.
+//!
+//! Cases are generated with the in-tree deterministic [`SmallRng`] rather
+//! than an external property-testing framework, so the suite builds
+//! offline and every failure is reproducible from the printed case seed.
 
-use proptest::prelude::*;
-
+use prdma_simnet::rng::SmallRng;
 use prdma_simnet::{FifoResource, Histogram, Sim, SimDuration};
 use std::cell::RefCell;
 use std::rc::Rc;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Virtual time is monotone and every task completes exactly at
+/// spawn-time + sleep-time (no drift, no reordering of time).
+#[test]
+fn sleeps_complete_exactly() {
+    for case in 0..48u64 {
+        let mut rng = SmallRng::seed_from_u64(0x51EE_7000 + case);
+        let n = rng.gen_range(1usize..50);
+        let delays: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..1_000_000)).collect();
 
-    /// Virtual time is monotone and every task completes exactly at
-    /// spawn-time + sleep-time (no drift, no reordering of time).
-    #[test]
-    fn sleeps_complete_exactly(delays in proptest::collection::vec(0u64..1_000_000, 1..50)) {
         let mut sim = Sim::new(9);
         let h = sim.handle();
         let results: Rc<RefCell<Vec<(u64, u64)>>> = Rc::default();
@@ -26,46 +31,56 @@ proptest! {
         }
         sim.run();
         let results = results.borrow();
-        prop_assert_eq!(results.len(), delays.len());
+        assert_eq!(results.len(), delays.len(), "case {case}");
         for &(d, t) in results.iter() {
-            prop_assert_eq!(t, d, "task slept {} but woke at {}", d, t);
+            assert_eq!(t, d, "case {case}: task slept {d} but woke at {t}");
         }
         // Completion order is sorted by wake time.
-        prop_assert!(results.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert!(results.windows(2).all(|w| w[0].1 <= w[1].1), "case {case}");
     }
+}
 
-    /// Histogram percentiles are bounded by min/max, monotone in q, and
-    /// the mean is exact.
-    #[test]
-    fn histogram_invariants(values in proptest::collection::vec(0u64..u64::MAX / 2, 1..500)) {
+/// Histogram percentiles are bounded by min/max, monotone in q, and the
+/// mean is exact.
+#[test]
+fn histogram_invariants() {
+    for case in 0..48u64 {
+        let mut rng = SmallRng::seed_from_u64(0x4157_0000 + case);
+        let n = rng.gen_range(1usize..500);
+        let values: Vec<u64> = (0..n).map(|_| rng.gen_range(0..u64::MAX / 2)).collect();
+
         let mut hist = Histogram::new();
         for &v in &values {
             hist.record(v);
         }
         let min = *values.iter().min().unwrap();
         let max = *values.iter().max().unwrap();
-        prop_assert_eq!(hist.count(), values.len() as u64);
-        prop_assert_eq!(hist.min(), min);
-        prop_assert_eq!(hist.max(), max);
+        assert_eq!(hist.count(), values.len() as u64, "case {case}");
+        assert_eq!(hist.min(), min, "case {case}");
+        assert_eq!(hist.max(), max, "case {case}");
         let exact_mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
         let tol = (exact_mean * 1e-9).max(1.0);
-        prop_assert!((hist.mean() - exact_mean).abs() <= tol);
+        assert!((hist.mean() - exact_mean).abs() <= tol, "case {case}");
         let mut last = 0;
         for i in 0..=20 {
             let p = hist.percentile(i as f64 / 20.0);
-            prop_assert!(p >= last);
-            prop_assert!(p >= min && p <= max);
+            assert!(p >= last, "case {case}: percentile non-monotone");
+            assert!(p >= min && p <= max, "case {case}: percentile out of range");
             last = p;
         }
     }
+}
 
-    /// A FIFO resource of capacity c never exceeds c concurrent holders,
-    /// and total busy time equals the sum of service times.
-    #[test]
-    fn fifo_resource_conservation(
-        capacity in 1usize..6,
-        jobs in proptest::collection::vec(1u64..10_000, 1..40),
-    ) {
+/// A FIFO resource of capacity c never exceeds c concurrent holders, and
+/// total busy time equals the sum of service times.
+#[test]
+fn fifo_resource_conservation() {
+    for case in 0..48u64 {
+        let mut rng = SmallRng::seed_from_u64(0xF1F0 + case);
+        let capacity = rng.gen_range(1usize..6);
+        let n = rng.gen_range(1usize..40);
+        let jobs: Vec<u64> = (0..n).map(|_| rng.gen_range(1u64..10_000)).collect();
+
         let mut sim = Sim::new(3);
         let h = sim.handle();
         let res = FifoResource::new(h.clone(), capacity);
@@ -87,20 +102,25 @@ proptest! {
             });
         }
         sim.run();
-        prop_assert!(peak.get() <= capacity);
-        prop_assert_eq!(res.served(), jobs.len() as u64);
+        assert!(peak.get() <= capacity, "case {case}");
+        assert_eq!(res.served(), jobs.len() as u64, "case {case}");
         let total: u64 = jobs.iter().sum();
-        prop_assert_eq!(res.busy_time().as_nanos(), total);
+        assert_eq!(res.busy_time().as_nanos(), total, "case {case}");
         // Work conservation: makespan >= total/capacity and <= total.
         let makespan = h.now().as_nanos();
-        prop_assert!(makespan >= total / capacity as u64);
-        prop_assert!(makespan <= total);
+        assert!(makespan >= total / capacity as u64, "case {case}");
+        assert!(makespan <= total, "case {case}");
     }
+}
 
-    /// Determinism: any program of sleeps and spawns produces the same
-    /// event count for the same seed.
-    #[test]
-    fn event_count_deterministic(seed in any::<u64>(), n in 1usize..40) {
+/// Determinism: any program of sleeps and spawns produces the same event
+/// count for the same seed.
+#[test]
+fn event_count_deterministic() {
+    for case in 0..48u64 {
+        let mut rng = SmallRng::seed_from_u64(0xDE7E_2141 + case);
+        let seed = rng.gen::<u64>();
+        let n = rng.gen_range(1usize..40);
         let run = || {
             let mut sim = Sim::new(seed);
             let h = sim.handle();
@@ -114,6 +134,6 @@ proptest! {
             sim.run();
             (sim.events_processed(), sim.now().as_nanos())
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "case {case}");
     }
 }

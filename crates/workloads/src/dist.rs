@@ -1,8 +1,7 @@
 //! Key-access distributions: zipfian (YCSB's default, 0.99 skew), the
 //! "latest" distribution (YCSB workload D), and uniform.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use prdma_simnet::rng::SmallRng;
 
 /// A zipfian generator over `0..n` (Gray et al. / YCSB formulation).
 ///

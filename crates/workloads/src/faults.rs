@@ -22,7 +22,6 @@
 //!      (the persistence window) is re-sent.
 
 use prdma_simnet::SimDuration;
-use rand::Rng;
 
 use crate::dist::workload_rng;
 
@@ -187,9 +186,8 @@ pub fn run_faulty(scheme: Scheme, costs: &MeasuredCosts, cfg: &FaultConfig) -> F
                     // the persistence window.
                     replayed += cfg.avg_outstanding;
                     total_ns += costs.replay.as_nanos() * cfg.avg_outstanding;
-                    let vulnerable = (costs.persistence_window.as_nanos() as f64
-                        / dur.max(1) as f64)
-                        .min(1.0);
+                    let vulnerable =
+                        (costs.persistence_window.as_nanos() as f64 / dur.max(1) as f64).min(1.0);
                     if op_rng.gen::<f64>() < vulnerable {
                         total_ns += dur;
                         resent += 1;
@@ -211,7 +209,7 @@ pub fn run_faulty(scheme: Scheme, costs: &MeasuredCosts, cfg: &FaultConfig) -> F
     }
 }
 
-fn draw_exp(rng: &mut rand::rngs::SmallRng, mean_ns: f64) -> u64 {
+fn draw_exp(rng: &mut prdma_simnet::rng::SmallRng, mean_ns: f64) -> u64 {
     let u: f64 = rng.gen_range(1e-12..1.0);
     (-u.ln() * mean_ns).round() as u64
 }

@@ -6,8 +6,6 @@
 //! that shape PageRank's RPC traffic (DESIGN.md documents this
 //! substitution).
 
-use rand::Rng;
-
 use crate::dist::{workload_rng, Zipfian};
 
 /// The paper's three PageRank datasets.

@@ -7,7 +7,6 @@ use prdma_rnic::Payload;
 use prdma_simnet::{Histogram, SimDuration, SimHandle, Summary};
 
 use crate::dist::{workload_rng, KeyDist};
-use rand::Rng;
 
 /// Micro-benchmark parameters (defaults follow the paper).
 #[derive(Debug, Clone)]

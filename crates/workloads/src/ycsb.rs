@@ -8,7 +8,6 @@ use prdma_simnet::{Histogram, SimDuration, SimHandle};
 
 use crate::dist::{workload_rng, KeyDist};
 use crate::micro::RunResult;
-use rand::Rng;
 
 /// The six core YCSB workloads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

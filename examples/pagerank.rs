@@ -32,9 +32,7 @@ fn main() {
         let cfg = PageRankConfig::default();
         let h = sim.handle();
         let graph = Rc::clone(&graph);
-        let r = sim.block_on(async move {
-            run_pagerank(client.as_ref(), &h, &graph, &cfg).await
-        });
+        let r = sim.block_on(async move { run_pagerank(client.as_ref(), &h, &graph, &cfg).await });
         println!(
             "{:<14} {:>14.3} {:>10}",
             kind.name(),

@@ -1,5 +1,10 @@
 //! Determinism guarantees and property-based tests spanning the whole
 //! stack.
+//!
+//! Randomized cases are generated with the in-tree deterministic
+//! `SmallRng` rather than an external property-testing framework, so the
+//! suite builds offline and every failure is reproducible from the
+//! printed case seed.
 
 use prdma_suite::baselines::{build_system, SystemKind, SystemOpts};
 use prdma_suite::core::{
@@ -7,10 +12,9 @@ use prdma_suite::core::{
 };
 use prdma_suite::node::{Cluster, ClusterConfig};
 use prdma_suite::rnic::Payload;
+use prdma_suite::simnet::rng::SmallRng;
 use prdma_suite::simnet::Sim;
 use prdma_suite::workloads::micro::{run_micro, MicroConfig};
-
-use proptest::prelude::*;
 
 fn full_run(seed: u64, kind: SystemKind) -> (u64, u64, u64) {
     let mut sim = Sim::new(seed);
@@ -46,16 +50,24 @@ fn whole_stack_determinism() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Any mix of put/get sizes round-trips correct lengths and contents
+/// through a durable RPC connection.
+#[test]
+fn durable_rpc_handles_arbitrary_op_sequences() {
+    for case in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(0x0525_0000 + case);
+        let seed = rng.gen_range(0u64..1000);
+        let n = rng.gen_range(1usize..20);
+        let ops: Vec<(u64, u64, bool)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0u64..64),
+                    rng.gen_range(1u64..2048),
+                    rng.gen::<bool>(),
+                )
+            })
+            .collect();
 
-    /// Any mix of put/get sizes round-trips correct lengths and contents
-    /// through a durable RPC connection.
-    #[test]
-    fn durable_rpc_handles_arbitrary_op_sequences(
-        seed in 0u64..1000,
-        ops in proptest::collection::vec((0u64..64, 1u64..2048, any::<bool>()), 1..20),
-    ) {
         let mut sim = Sim::new(seed);
         let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(2));
         let cfg = DurableConfig {
@@ -72,27 +84,36 @@ proptest! {
             for (obj, len, is_put) in ops {
                 if is_put {
                     let fill = (obj % 251) as u8 + 1;
-                    client.call(Request::Put {
-                        obj,
-                        data: Payload::from_bytes(vec![fill; len as usize]),
-                    }).await.unwrap();
+                    client
+                        .call(Request::Put {
+                            obj,
+                            data: Payload::from_bytes(vec![fill; len as usize]),
+                        })
+                        .await
+                        .unwrap();
                     last_write.insert(obj, fill);
                 } else {
                     let r = client.call(Request::Get { obj, len }).await.unwrap();
-                    prop_assert_eq!(r.payload.unwrap().len(), len);
+                    assert_eq!(
+                        r.payload.unwrap().len(),
+                        len,
+                        "case {case}: wrong get length"
+                    );
                 }
             }
-            Ok::<(), TestCaseError>(())
-        })?;
+        });
     }
+}
 
-    /// Crashing after N acknowledged puts never loses or tears any of
-    /// them: recovery returns exactly the unprocessed suffix, intact.
-    #[test]
-    fn crash_never_loses_acked_puts(
-        seed in 0u64..500,
-        n in 1usize..12,
-    ) {
+/// Crashing after N acknowledged puts never loses or tears any of them:
+/// recovery returns exactly the unprocessed suffix, intact.
+#[test]
+fn crash_never_loses_acked_puts() {
+    for case in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(0xC8A5_4000 + case);
+        let seed = rng.gen_range(0u64..500);
+        let n = rng.gen_range(1usize..12);
+
         let mut sim = Sim::new(seed);
         let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(2));
         let cfg = DurableConfig {
@@ -112,61 +133,72 @@ proptest! {
         let store = server.store().clone();
         sim.block_on(async move {
             for i in 0..n as u64 {
-                client.call(Request::Put {
-                    obj: i,
-                    data: Payload::from_bytes(vec![(i % 255) as u8 + 1; 64]),
-                }).await.unwrap();
+                client
+                    .call(Request::Put {
+                        obj: i,
+                        data: Payload::from_bytes(vec![(i % 255) as u8 + 1; 64]),
+                    })
+                    .await
+                    .unwrap();
             }
             node.crash();
             node.restart();
-            Ok::<(), TestCaseError>(())
-        })?;
+        });
         let pending = log.recover();
         // Every put is either applied in the store or recoverable.
         let mut accounted = vec![false; n];
         for e in &pending {
             let i = e.op.obj_id as usize;
-            prop_assert!(i < n, "phantom entry {i}");
-            prop_assert_eq!(&e.payload, &vec![(i as u64 % 255) as u8 + 1; 64]);
+            assert!(i < n, "case {case}: phantom entry {i}");
+            assert_eq!(
+                &e.payload,
+                &vec![(i as u64 % 255) as u8 + 1; 64],
+                "case {case}: torn recovered payload"
+            );
             accounted[i] = true;
         }
         for (i, done) in accounted.iter().enumerate() {
             if !done {
                 // Must have been applied before the crash.
                 let got = store.persistent_bytes(i as u64, 64);
-                prop_assert_eq!(
+                assert_eq!(
                     got,
                     vec![(i as u64 % 255) as u8 + 1; 64],
-                    "put {} neither recovered nor applied",
-                    i
+                    "case {case}: put {i} neither recovered nor applied"
                 );
             }
         }
     }
+}
 
-    /// Payload composites preserve total length and inline placement.
-    #[test]
-    fn payload_composite_invariants(
-        parts in proptest::collection::vec(
-            prop_oneof![
-                (1u64..512).prop_map(|l| Payload::synthetic(l, 0)),
-                proptest::collection::vec(any::<u8>(), 1..128)
-                    .prop_map(Payload::from_bytes),
-            ],
-            1..8,
-        )
-    ) {
+/// Payload composites preserve total length and inline placement.
+#[test]
+fn payload_composite_invariants() {
+    for case in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(0xC03_0051 + case);
+        let k = rng.gen_range(1usize..8);
+        let parts: Vec<Payload> = (0..k)
+            .map(|_| {
+                if rng.gen::<bool>() {
+                    Payload::synthetic(rng.gen_range(1u64..512), 0)
+                } else {
+                    let len = rng.gen_range(1usize..128);
+                    Payload::from_bytes((0..len).map(|_| rng.gen_range(0u32..=255) as u8).collect())
+                }
+            })
+            .collect();
+
         let total: u64 = parts.iter().map(Payload::len).sum();
         let composite = Payload::composite(parts.clone());
-        prop_assert_eq!(composite.len(), total);
+        assert_eq!(composite.len(), total, "case {case}");
         // Inline parts are placed at their running offsets and never
         // overlap or exceed the total.
         let inline = composite.inline_parts();
         let mut last_end = 0u64;
         for (off, bytes) in inline {
-            prop_assert!(off >= last_end);
+            assert!(off >= last_end, "case {case}: overlapping inline parts");
             last_end = off + bytes.len() as u64;
-            prop_assert!(last_end <= total);
+            assert!(last_end <= total, "case {case}: inline part past end");
         }
     }
 }

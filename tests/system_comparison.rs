@@ -9,7 +9,13 @@ use prdma_suite::rnic::Payload;
 use prdma_suite::simnet::Sim;
 use prdma_suite::workloads::micro::{run_micro, run_micro_merged, MicroConfig, RunResult};
 
-fn micro(kind: SystemKind, profile: ServerProfile, size: u64, ops: u64, read_ratio: f64) -> RunResult {
+fn micro(
+    kind: SystemKind,
+    profile: ServerProfile,
+    size: u64,
+    ops: u64,
+    read_ratio: f64,
+) -> RunResult {
     let mut sim = Sim::new(606);
     let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(2));
     let opts = SystemOpts::for_object_size(size, profile);
@@ -201,7 +207,10 @@ fn get_lengths_correct_across_systems() {
                 })
                 .await
                 .unwrap();
-            client.call(Request::Get { obj: 3, len: 2048 }).await.unwrap()
+            client
+                .call(Request::Get { obj: 3, len: 2048 })
+                .await
+                .unwrap()
         });
         assert_eq!(
             got.payload.map(|p| p.len()),
