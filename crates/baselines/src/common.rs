@@ -9,9 +9,10 @@
 //! costs are charged against the *server's* CPU/PM/NIC resources, so
 //! contention across concurrent clients is still captured.
 
-use prdma::{ObjectStore, Request, RpcError, RpcResult, ServerProfile};
+use prdma::{ObjectStore, Request, Response, RpcError, RpcResult, ServerProfile};
 use prdma_node::{Cluster, Node};
 use prdma_rnic::{MemTarget, Payload, Qp, QpMode};
+use prdma_simnet::journal::{EventKind, Subsystem, NO_ID};
 
 /// Wire header bytes on every baseline request/response.
 pub const MSG_HEADER: u64 = 32;
@@ -198,4 +199,50 @@ pub async fn reply_by_send(
 /// baseline implementations).
 pub fn transport_err(e: prdma_rnic::RdmaError) -> RpcError {
     RpcError::from(e)
+}
+
+/// Journal the start of one baseline RPC on the client node: allocates an
+/// rpc id and emits `RpcDispatch`. Returns [`NO_ID`] (and records nothing)
+/// when journaling is disabled.
+pub fn rpc_begin(client_node: &Node, bytes: u64) -> u64 {
+    match client_node.journal() {
+        Some(j) => {
+            let id = j.next_rpc_id();
+            j.record(Subsystem::Rpc, EventKind::RpcDispatch, id, NO_ID, bytes);
+            id
+        }
+        None => NO_ID,
+    }
+}
+
+/// Journal the completion of a baseline RPC begun with [`rpc_begin`].
+pub fn rpc_end(client_node: &Node, rpc_id: u64, bytes: u64) {
+    if rpc_id == NO_ID {
+        return;
+    }
+    if let Some(j) = client_node.journal() {
+        j.record(Subsystem::Rpc, EventKind::RpcComplete, rpc_id, NO_ID, bytes);
+    }
+}
+
+/// Run one baseline roundtrip bracketed by [`rpc_begin`]/[`rpc_end`]
+/// records (a no-op when journaling is disabled).
+pub async fn journaled_call<F>(
+    client_node: &Node,
+    req_bytes: u64,
+    roundtrip: F,
+) -> RpcResult<Response>
+where
+    F: std::future::Future<Output = RpcResult<Response>>,
+{
+    let id = rpc_begin(client_node, req_bytes);
+    let r = roundtrip.await;
+    if let Ok(resp) = &r {
+        rpc_end(
+            client_node,
+            id,
+            resp.payload.as_ref().map_or(0, Payload::len),
+        );
+    }
+    r
 }

@@ -11,7 +11,9 @@ use prdma::{Request, Response, RpcClient, RpcFuture};
 use prdma_node::{Cluster, Node};
 use prdma_rnic::{MemTarget, Payload, QpMode};
 
-use crate::common::{qp_pair, reply_by_send, request_image, request_parts, QpPair, ServerCtx};
+use crate::common::{
+    journaled_call, qp_pair, reply_by_send, request_image, request_parts, QpPair, ServerCtx,
+};
 
 /// DaRPC client endpoint (the server side is modeled inline).
 pub struct DarpcClient {
@@ -147,7 +149,12 @@ impl DarpcClient {
 
 impl RpcClient for DarpcClient {
     fn call(&self, req: Request) -> RpcFuture<'_> {
-        Box::pin(self.roundtrip(req))
+        let bytes = request_image(&req).len();
+        Box::pin(journaled_call(
+            &self.client_node,
+            bytes,
+            self.roundtrip(req),
+        ))
     }
 
     fn call_batch(&self, reqs: Vec<Request>) -> prdma::RpcBatchFuture<'_> {

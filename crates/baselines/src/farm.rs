@@ -5,7 +5,9 @@ use prdma::{Request, Response, RpcClient, RpcFuture, ServerProfile};
 use prdma_node::{Cluster, Node};
 use prdma_rnic::{MemTarget, QpMode};
 
-use crate::common::{qp_pair, reply_by_write, request_image, request_parts, QpPair, ServerCtx};
+use crate::common::{
+    journaled_call, qp_pair, reply_by_write, request_image, request_parts, QpPair, ServerCtx,
+};
 
 /// FaRM client endpoint.
 pub struct FarmClient {
@@ -71,7 +73,12 @@ impl FarmClient {
 
 impl RpcClient for FarmClient {
     fn call(&self, req: Request) -> RpcFuture<'_> {
-        Box::pin(self.roundtrip(req))
+        let bytes = request_image(&req).len();
+        Box::pin(journaled_call(
+            &self.client_node,
+            bytes,
+            self.roundtrip(req),
+        ))
     }
 
     fn name(&self) -> &'static str {

@@ -7,7 +7,8 @@ use prdma_node::{Cluster, Node};
 use prdma_rnic::{MemTarget, QpMode, RdmaError};
 
 use crate::common::{
-    qp_pair, reply_by_send, request_image, request_parts, QpPair, ServerCtx, MSG_HEADER,
+    journaled_call, qp_pair, reply_by_send, request_image, request_parts, QpPair, ServerCtx,
+    MSG_HEADER,
 };
 
 /// Client-side loss-detection timeout (ConnectX-class UD RPC stacks use
@@ -115,7 +116,12 @@ impl FasstClient {
 
 impl RpcClient for FasstClient {
     fn call(&self, req: Request) -> RpcFuture<'_> {
-        Box::pin(self.roundtrip(req))
+        let bytes = request_image(&req).len();
+        Box::pin(journaled_call(
+            &self.client_node,
+            bytes,
+            self.roundtrip(req),
+        ))
     }
 
     fn name(&self) -> &'static str {

@@ -8,8 +8,8 @@ use prdma_node::{Cluster, Node};
 use prdma_rnic::{MemTarget, Payload, QpMode};
 
 use crate::common::{
-    client_poll, qp_pair, request_image, request_parts, QpPair, ServerCtx, CLIENT_RESP_ADDR,
-    MSG_HEADER,
+    client_poll, journaled_call, qp_pair, request_image, request_parts, QpPair, ServerCtx,
+    CLIENT_RESP_ADDR, MSG_HEADER,
 };
 
 /// Herd client endpoint.
@@ -101,7 +101,12 @@ impl HerdClient {
 
 impl RpcClient for HerdClient {
     fn call(&self, req: Request) -> RpcFuture<'_> {
-        Box::pin(self.roundtrip(req))
+        let bytes = request_image(&req).len();
+        Box::pin(journaled_call(
+            &self.client_node,
+            bytes,
+            self.roundtrip(req),
+        ))
     }
 
     fn name(&self) -> &'static str {

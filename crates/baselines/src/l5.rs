@@ -7,7 +7,8 @@ use prdma_node::{Cluster, Node};
 use prdma_rnic::{MemTarget, Payload, QpMode};
 
 use crate::common::{
-    qp_pair, reply_by_write, request_image, request_parts, QpPair, ServerCtx, SLOT_PITCH,
+    journaled_call, qp_pair, reply_by_write, request_image, request_parts, QpPair, ServerCtx,
+    SLOT_PITCH,
 };
 
 /// Offset of the validity flag within the lane's message slot.
@@ -85,7 +86,12 @@ impl L5Client {
 
 impl RpcClient for L5Client {
     fn call(&self, req: Request) -> RpcFuture<'_> {
-        Box::pin(self.roundtrip(req))
+        let bytes = request_image(&req).len();
+        Box::pin(journaled_call(
+            &self.client_node,
+            bytes,
+            self.roundtrip(req),
+        ))
     }
 
     fn name(&self) -> &'static str {

@@ -8,7 +8,8 @@ use prdma_rnic::{MemTarget, Payload, QpMode};
 use prdma_simnet::SimDuration;
 
 use crate::common::{
-    qp_pair, request_image, request_parts, QpPair, ServerCtx, CLIENT_RESP_ADDR, MSG_HEADER,
+    journaled_call, qp_pair, request_image, request_parts, QpPair, ServerCtx, CLIENT_RESP_ADDR,
+    MSG_HEADER,
 };
 
 /// Octopus client endpoint. `kernel_overhead` > 0 models LITE's in-kernel
@@ -151,7 +152,12 @@ impl OctopusClient {
 
 impl RpcClient for OctopusClient {
     fn call(&self, req: Request) -> RpcFuture<'_> {
-        Box::pin(self.roundtrip(req))
+        let bytes = request_image(&req).len();
+        Box::pin(journaled_call(
+            &self.client_node,
+            bytes,
+            self.roundtrip(req),
+        ))
     }
 
     fn name(&self) -> &'static str {

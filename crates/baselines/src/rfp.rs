@@ -11,7 +11,9 @@ use prdma_node::{Cluster, Node};
 use prdma_rnic::{MemTarget, QpMode};
 use prdma_simnet::SimDuration;
 
-use crate::common::{qp_pair, request_image, request_parts, QpPair, ServerCtx, SLOT_PITCH};
+use crate::common::{
+    journaled_call, qp_pair, request_image, request_parts, QpPair, ServerCtx, SLOT_PITCH,
+};
 
 /// Offset of the result buffer within the lane's slot.
 const RESULT_OFF: u64 = SLOT_PITCH / 2;
@@ -125,7 +127,12 @@ impl RfpClient {
 
 impl RpcClient for RfpClient {
     fn call(&self, req: Request) -> RpcFuture<'_> {
-        Box::pin(self.roundtrip(req))
+        let bytes = request_image(&req).len();
+        Box::pin(journaled_call(
+            &self.client_node,
+            bytes,
+            self.roundtrip(req),
+        ))
     }
 
     fn name(&self) -> &'static str {

@@ -11,7 +11,8 @@ use prdma_node::{Cluster, Node};
 use prdma_rnic::{MemTarget, Payload, QpMode};
 
 use crate::common::{
-    qp_pair, reply_by_write, request_image, request_parts, QpPair, ServerCtx, MSG_HEADER,
+    journaled_call, qp_pair, reply_by_write, request_image, request_parts, QpPair, ServerCtx,
+    MSG_HEADER,
 };
 
 /// Process-phase calls between warm-ups (paper Section 5.1).
@@ -150,7 +151,12 @@ impl ScaleRpcClient {
 
 impl RpcClient for ScaleRpcClient {
     fn call(&self, req: Request) -> RpcFuture<'_> {
-        Box::pin(self.roundtrip(req))
+        let bytes = request_image(&req).len();
+        Box::pin(journaled_call(
+            &self.client_node,
+            bytes,
+            self.roundtrip(req),
+        ))
     }
 
     fn call_batch(&self, reqs: Vec<Request>) -> prdma::RpcBatchFuture<'_> {

@@ -8,7 +8,7 @@ use prdma_rnic::Payload;
 use prdma_simnet::Sim;
 use prdma_workloads::micro::MicroConfig;
 
-use crate::report::{kops, us, Table};
+use crate::report::{kops_or_dash, us, us_or_dash, Table};
 use crate::runner::{micro_run, micro_run_concurrent, ExpEnv, Scale};
 
 fn size_label(bytes: u64) -> String {
@@ -44,11 +44,7 @@ pub fn fig08(scale: Scale) -> Vec<Table> {
                     ..Default::default()
                 };
                 let r = micro_run(kind, &env, cfg);
-                cells.push(if r.run.ops == 0 {
-                    "n/a".into()
-                } else {
-                    kops(r.run.kops)
-                });
+                cells.push(kops_or_dash(r.run.ops, r.run.kops));
             }
             t.row(cells);
         }
@@ -57,14 +53,15 @@ pub fn fig08(scale: Scale) -> Vec<Table> {
     tables
 }
 
-/// Fig. 9: 95th/99th/avg latency for 1 KB and 64 KB objects.
+/// Fig. 9: latency distribution (p50/p95/p99/p99.9/avg) for 1 KB and
+/// 64 KB objects.
 pub fn fig09(scale: Scale) -> Vec<Table> {
     let mut tables = Vec::new();
     for size in [1024u64, 65536] {
         let mut t = Table::new(
             format!("fig09_{}", size_label(size)),
             format!("Latency (us), {} objects", size_label(size)),
-            &["system", "p95", "p99", "avg"],
+            &["system", "p50", "p95", "p99", "p99.9", "avg"],
         );
         for kind in SystemKind::PAPER_EVAL {
             let env = ExpEnv::sized(size, ServerProfile::light());
@@ -75,21 +72,15 @@ pub fn fig09(scale: Scale) -> Vec<Table> {
                 ..Default::default()
             };
             let r = micro_run(kind, &env, cfg);
-            if r.run.ops == 0 {
-                t.row(vec![
-                    kind.name().into(),
-                    "n/a".into(),
-                    "n/a".into(),
-                    "n/a".into(),
-                ]);
-            } else {
-                t.row(vec![
-                    kind.name().into(),
-                    us(r.run.latency.p95_us()),
-                    us(r.run.latency.p99_us()),
-                    us(r.run.latency.mean_us()),
-                ]);
-            }
+            let n = r.run.ops;
+            t.row(vec![
+                kind.name().into(),
+                us_or_dash(n, r.run.latency.p50_us()),
+                us_or_dash(n, r.run.latency.p95_us()),
+                us_or_dash(n, r.run.latency.p99_us()),
+                us_or_dash(n, r.run.latency.p999_us()),
+                us_or_dash(n, r.run.latency.mean_us()),
+            ]);
         }
         tables.push(t);
     }
@@ -115,11 +106,7 @@ pub fn fig13(scale: Scale) -> Vec<Table> {
                 ..Default::default()
             };
             let r = micro_run(kind, &env, cfg);
-            cells.push(if r.run.ops == 0 {
-                "n/a".into()
-            } else {
-                us(r.run.latency.mean_us())
-            });
+            cells.push(us_or_dash(r.run.ops, r.run.latency.mean_us()));
         }
         t.row(cells);
     }

@@ -10,7 +10,7 @@ use prdma_rnic::Payload;
 use prdma_simnet::{Sim, SimDuration};
 use prdma_workloads::micro::MicroConfig;
 
-use crate::report::{us, Table};
+use crate::report::{us, us_or_dash, Table};
 use crate::runner::{micro_run, micro_run_concurrent, ExpEnv, Scale};
 
 fn classify(ratio: f64, low: f64, high: f64) -> &'static str {
@@ -44,6 +44,9 @@ pub fn table2(scale: Scale) -> Vec<Table> {
             "system",
             "net_sensitivity(busy/idle)",
             "recv_cpu(us/op)",
+            "p50_us",
+            "p99_us",
+            "p99.9_us",
             "tail(p99/avg)",
             "scalability(50s/10s)",
             "sw_share",
@@ -87,6 +90,9 @@ pub fn table2(scale: Scale) -> Vec<Table> {
             kind.name().into(),
             format!("{net_ratio:.2} ({})", classify(net_ratio, 1.3, 2.0)),
             format!("{recv_cpu:.2} ({})", classify(recv_cpu, 1.0, 3.0)),
+            us_or_dash(idle.run.ops, idle.run.latency.p50_us()),
+            us_or_dash(idle.run.ops, idle.run.latency.p99_us()),
+            us_or_dash(idle.run.ops, idle.run.latency.p999_us()),
             format!("{tail:.2} ({})", classify(tail, 1.5, 3.0)),
             format!("{scal:.2} ({})", if scal < 1.5 { "Good" } else { "Medium" }),
             format!("{:.1}%", sw_share * 100.0),

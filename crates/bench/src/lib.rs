@@ -35,7 +35,9 @@ pub mod report;
 pub mod runner;
 
 pub use report::Table;
-pub use runner::{micro_run, micro_run_concurrent, ycsb_run, EnvResult, ExpEnv, Scale};
+pub use runner::{
+    journal_enabled, micro_run, micro_run_concurrent, ycsb_run, EnvResult, ExpEnv, Scale,
+};
 
 /// Emit (print + CSV) a set of tables.
 pub fn emit_all(tables: Vec<Table>) {

@@ -102,9 +102,36 @@ pub fn kops(v: f64) -> String {
     format!("{v:.2}")
 }
 
+/// Format a microsecond value, or `-` when the series recorded no samples
+/// (an empty `Histogram` summary would otherwise render a nonsense 0.0).
+pub fn us_or_dash(samples: u64, v: f64) -> String {
+    if samples == 0 {
+        "-".into()
+    } else {
+        us(v)
+    }
+}
+
+/// Format a KOPS value, or `-` for a run that completed no operations.
+pub fn kops_or_dash(samples: u64, v: f64) -> String {
+    if samples == 0 {
+        "-".into()
+    } else {
+        kops(v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn empty_series_render_as_dash() {
+        assert_eq!(us_or_dash(0, 0.0), "-");
+        assert_eq!(us_or_dash(5, 1.25), "1.2");
+        assert_eq!(kops_or_dash(0, 0.0), "-");
+        assert_eq!(kops_or_dash(5, 1.25), "1.25");
+    }
 
     #[test]
     fn table_roundtrip() {

@@ -5,10 +5,57 @@
 use prdma::{FlushImpl, ServerProfile};
 use prdma_baselines::{build_system, SystemKind, SystemOpts};
 use prdma_node::{Cluster, ClusterConfig};
+use prdma_simnet::journal;
 use prdma_simnet::trace::TraceReport;
 use prdma_simnet::{Sim, SimDuration, SimTime};
 use prdma_workloads::micro::{run_micro, run_micro_merged, MicroConfig, RunResult};
 use prdma_workloads::ycsb::{run_ycsb, YcsbConfig};
+
+use crate::report::output_dir;
+
+/// Whether journal capture was requested for this bench process: pass
+/// `--journal` after `--` on the bench command line (e.g. `cargo bench
+/// --bench fig20_breakdown -- --journal`) or set `PRDMA_JOURNAL=1`.
+pub fn journal_enabled() -> bool {
+    std::env::args().any(|a| a == "--journal")
+        || matches!(std::env::var("PRDMA_JOURNAL").as_deref(), Ok("1" | "true"))
+}
+
+/// Export the cluster's merged journal (JSONL + Chrome-trace JSON under
+/// the output directory, named `journal_<tag>.*`) and run the durability
+/// auditor, panicking on any ordering violation. No-op unless
+/// [`journal_enabled`]. Repeated runs with the same tag overwrite — each
+/// file holds the last run of that configuration.
+fn export_and_audit(cluster: &Cluster, tag: &str) {
+    if !journal_enabled() {
+        return;
+    }
+    let records = cluster.journal_records();
+    let report = cluster.audit_journal();
+    let gauges = journal::gauges(&records);
+    let dir = output_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let slug: String = tag
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let _ = std::fs::write(
+        dir.join(format!("journal_{slug}.jsonl")),
+        journal::to_jsonl(&records),
+    );
+    let _ = std::fs::write(
+        dir.join(format!("journal_{slug}.trace.json")),
+        journal::to_chrome_trace(&records),
+    );
+    println!("   journal[{tag}]: {report}; {gauges:?}");
+    report.assert_ok();
+}
 
 /// Environment knobs an experiment can toggle.
 #[derive(Debug, Clone)]
@@ -71,6 +118,7 @@ impl ExpEnv {
     fn build_cluster(&self, sim: &Sim) -> Cluster {
         let mut cfg = ClusterConfig::with_nodes(self.nodes);
         cfg.rnic.ddio = self.ddio;
+        cfg.journal = journal_enabled();
         let cluster = Cluster::new(sim.handle(), cfg);
         if self.network_busy {
             // A background stream of 32 KB packets, both directions,
@@ -148,6 +196,7 @@ pub fn micro_run(kind: SystemKind, env: &ExpEnv, cfg: MicroConfig) -> EnvResult 
     let cpu1_s = client_cpu.busy_time();
     let media_s = server_pm.media_busy_time();
     let run = sim.block_on(async move { run_micro(client.as_ref(), &h, &cfg).await });
+    export_and_audit(&cluster, &format!("micro_{}", kind.name()));
     let ops = run.ops.max(1) as f64;
     EnvResult {
         client_cpu_us_per_op: (client_cpu.busy_time() - cpu1_s).as_micros_f64() / ops,
@@ -177,7 +226,9 @@ pub fn micro_run_concurrent(
         .map(|i| build_system(&cluster, kind, i, 0, i - 1, &opts))
         .collect();
     let h = sim.handle();
-    sim.block_on(async move { run_micro_merged(clients, &h, &cfg).await })
+    let run = sim.block_on(async move { run_micro_merged(clients, &h, &cfg).await });
+    export_and_audit(&cluster, &format!("conc{}_{}", senders, kind.name()));
+    run
 }
 
 /// Run a YCSB workload for `kind` under `env`.
@@ -191,6 +242,7 @@ pub fn ycsb_run(kind: SystemKind, env: &ExpEnv, cfg: YcsbConfig) -> EnvResult {
     let server_pm = cluster.node(0).pm.clone();
     let h = sim.handle();
     let run = sim.block_on(async move { run_ycsb(client.as_ref(), &h, &cfg).await });
+    export_and_audit(&cluster, &format!("ycsb_{}", kind.name()));
     let ops = run.ops.max(1) as f64;
     EnvResult {
         client_cpu_us_per_op: client_cpu.busy_time().as_micros_f64() / ops,

@@ -22,6 +22,7 @@ use std::rc::Rc;
 
 use prdma_node::{Cluster, Node};
 use prdma_rnic::{MemTarget, Payload, Qp, QpMode};
+use prdma_simnet::journal::{EventKind, Subsystem, NO_ID};
 use prdma_simnet::trace::{Phase, Role};
 use prdma_simnet::{channel, oneshot, OneshotSender, Receiver, Sender, SimDuration};
 
@@ -245,6 +246,7 @@ pub fn build_durable(
     let cursor = LogCursor::new();
     let log = RedoLog::new(server.pm.clone(), layout, cursor.clone());
     log.set_head_persist_interval(cfg.head_persist_interval);
+    log.set_journal_lane(lane as u64);
 
     let (log_qp_client, log_qp_server) = cluster.connect(client_idx, server_idx, QpMode::Rc);
     let (get_qp_client, get_qp_server) = cluster.connect(client_idx, server_idx, QpMode::Rc);
@@ -259,6 +261,7 @@ pub fn build_durable(
         cfg.throttle_threshold,
         cfg.throttle_backoff,
     );
+    writer.set_journal_lane(lane as u64);
 
     let (work_tx, work_rx) = channel();
     let (arrival_tx, arrival_rx) = channel();
@@ -605,11 +608,21 @@ impl DurableClient {
         self.kind
     }
 
+    /// Journal an RPC lifecycle event on the client node. Puts reuse the
+    /// log-append id (`lane << 40 | index`) so the auditor can order the
+    /// completion against its redo-log append; reads allocate fresh ids.
+    fn jot_rpc(&self, kind: EventKind, rpc_id: u64, bytes: u64) {
+        if let Some(j) = self.client_node.journal() {
+            j.record(Subsystem::Rpc, kind, rpc_id, NO_ID, bytes);
+        }
+    }
+
     async fn do_put(&self, obj: u64, data: Payload) -> RpcResult<Response> {
         let op = RpcOperator {
             opcode: OpCode::Put,
             obj_id: obj,
         };
+        let put_bytes = data.len();
 
         // Receiver-initiated kinds: register the persist-ack waiter before
         // anything can arrive.
@@ -625,8 +638,11 @@ impl DurableClient {
         // Composite span: the whole log-append + persistence-wait leg.
         let _persist = self.client_node.tracer().span(Phase::LogPersist);
 
+        let rpc_id;
         if self.kind.is_send_based() {
             let appended = self.writer.append_send(op, &data).await?;
+            rpc_id = self.writer.journal_id(appended.index);
+            self.jot_rpc(EventKind::RpcDispatch, rpc_id, put_bytes);
             match self.kind {
                 DurableKind::SFlush => {
                     self.writer.flush().sflush(appended.probe).await?;
@@ -643,6 +659,8 @@ impl DurableClient {
             }
         } else {
             let appended = self.writer.append_write(op, &data).await?;
+            rpc_id = self.writer.journal_id(appended.index);
+            self.jot_rpc(EventKind::RpcDispatch, rpc_id, put_bytes);
             // Arrival notification: when the entry's DMA lands, the server
             // polling thread picks it up (handle_arrival).
             {
@@ -675,6 +693,7 @@ impl DurableClient {
             }
         }
 
+        self.jot_rpc(EventKind::RpcComplete, rpc_id, put_bytes);
         Ok(Response {
             payload: None,
             durable: true,
@@ -682,6 +701,11 @@ impl DurableClient {
     }
 
     async fn do_get(&self, obj: u64, len: u64, count: u32) -> RpcResult<Response> {
+        let rpc_id = self
+            .client_node
+            .journal()
+            .map_or(NO_ID, |j| j.next_rpc_id());
+        self.jot_rpc(EventKind::RpcDispatch, rpc_id, GET_DESC_BYTES);
         let (tx, rx) = oneshot();
         if self.kind.is_send_based() {
             self.get_qp
@@ -718,6 +742,7 @@ impl DurableClient {
         }
         let payload = rx.await.ok_or(RpcError::ServerDown)?;
         self.client_node.cpu.poll_dispatch().await;
+        self.jot_rpc(EventKind::RpcComplete, rpc_id, payload.len());
         Ok(Response {
             payload: Some(payload),
             durable: true,
@@ -747,6 +772,7 @@ impl DurableClient {
 
         let _persist = self.client_node.tracer().span(Phase::LogPersist);
 
+        let mut rpc_ids = Vec::with_capacity(k);
         if self.kind.is_send_based() {
             // Sends cannot be doorbell-coalesced the same way; pipeline
             // them and flush/ack once at the end.
@@ -756,7 +782,11 @@ impl DurableClient {
                     opcode: OpCode::Put,
                     obj_id: obj,
                 };
+                let bytes = data.len();
                 let appended = self.writer.append_send(op, &data).await?;
+                let rid = self.writer.journal_id(appended.index);
+                self.jot_rpc(EventKind::RpcDispatch, rid, bytes);
+                rpc_ids.push((rid, bytes));
                 last_probe = Some(appended.probe);
             }
             match self.kind {
@@ -791,6 +821,13 @@ impl DurableClient {
                 .collect();
             let receipts = self.writer.append_write_batch(ops).await?;
             let last_probe = receipts.last().expect("non-empty batch").probe;
+            for a in &receipts {
+                let rid = self.writer.journal_id(a.index);
+                // The batch shares one doorbell; dispatch bytes are the
+                // entry payloads already counted by the LogAppend records.
+                self.jot_rpc(EventKind::RpcDispatch, rid, 0);
+                rpc_ids.push((rid, 0));
+            }
             for (appended, (_, data)) in receipts.into_iter().zip(items) {
                 let shared = Rc::clone(&self.shared);
                 let token = appended.token;
@@ -819,6 +856,9 @@ impl DurableClient {
                 }
                 _ => unreachable!(),
             }
+        }
+        for (rid, bytes) in rpc_ids {
+            self.jot_rpc(EventKind::RpcComplete, rid, bytes);
         }
         Ok(vec![
             Response {

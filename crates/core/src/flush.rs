@@ -18,6 +18,7 @@
 //! | `SFlush` | 7 µs address-lookup stall, then the read | drain + ACK after on-NIC address resolution |
 
 use prdma_rnic::{MemTarget, Qp, RdmaResult};
+use prdma_simnet::journal::{EventKind, Subsystem, NO_ID};
 use prdma_simnet::trace::{Phase, Span};
 use prdma_simnet::SimDuration;
 
@@ -64,27 +65,43 @@ impl FlushOps {
         self.qp.remote().tracer().map(|t| t.span(Phase::NicDma))
     }
 
+    /// Journal the client-side view of a flush round trip. The barrier
+    /// itself (with its covered-ticket check) is recorded by the remote
+    /// NIC's posted-write drain; these records are informational, so they
+    /// carry no barrier ticket.
+    fn jot(&self, kind: EventKind) {
+        if let Some(j) = self.qp.local().journal() {
+            j.record(Subsystem::Flush, kind, NO_ID, NO_ID, 0);
+        }
+    }
+
     /// `WFlush`: guarantee that all writes previously posted on this QP
     /// (up to and including the one ending at `probe`) are durable in the
     /// remote persistence domain. Resolves at the flush ACK.
     pub async fn wflush(&self, probe: MemTarget) -> RdmaResult<()> {
         let _span = self.flush_span();
-        match self.imp {
+        self.jot(EventKind::FlushIssue);
+        let r = match self.imp {
             FlushImpl::Emulated => {
                 // Read the last byte of the written data: PCIe ordering
                 // forces the remote RNIC to drain posted DMA writes first.
                 self.qp.read_synthetic(probe, 1).await
             }
             FlushImpl::HardwareNative => self.native_flush(SimDuration::ZERO).await,
+        };
+        if r.is_ok() {
+            self.jot(EventKind::FlushAck);
         }
+        r
     }
 
     /// `SFlush`: like `WFlush`, but accompanies an RDMA send — the remote
     /// RNIC must first resolve the destination address from the packet.
     pub async fn sflush(&self, probe: MemTarget) -> RdmaResult<()> {
         let _span = self.flush_span();
+        self.jot(EventKind::FlushIssue);
         let addressing = self.qp.local().config().sflush_addressing;
-        match self.imp {
+        let r = match self.imp {
             FlushImpl::Emulated => {
                 // The paper waits `sleep(0)` (~7 us, conservative) for the
                 // address lookup, then forces the flush with a read. The
@@ -101,7 +118,11 @@ impl FlushOps {
                 // small fraction of the emulated stall.
                 self.native_flush(addressing / 16).await
             }
+        };
+        if r.is_ok() {
+            self.jot(EventKind::FlushAck);
         }
+        r
     }
 
     /// The modeled native flush verb: a header-sized command to the remote

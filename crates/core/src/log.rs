@@ -31,6 +31,7 @@ use std::rc::Rc;
 
 use prdma_pmem::{PmDevice, PmRegion};
 use prdma_rnic::{MemTarget, Payload, PersistToken, Qp, RdmaResult};
+use prdma_simnet::journal::{EventKind, Subsystem};
 use prdma_simnet::SimDuration;
 
 use crate::flush::FlushOps;
@@ -272,6 +273,10 @@ pub struct RedoLog {
     head_persist_interval: Cell<u64>,
     /// Last head value durably recorded.
     persisted_head: Cell<u64>,
+    /// Journal id namespace for this log's lane: `(lane << 40)`. Log
+    /// events carry `rpc_id = id_base | index` so the auditor can match
+    /// appends, completions, and recovery replays per lane.
+    id_base: Cell<u64>,
 }
 
 impl RedoLog {
@@ -284,12 +289,24 @@ impl RedoLog {
             done_window: Rc::default(),
             head_persist_interval: Cell::new(16),
             persisted_head: Cell::new(0),
+            id_base: Cell::new(0),
         }
     }
 
     /// Set how often the head pointer is made durable (see field docs).
     pub fn set_head_persist_interval(&self, interval: u64) {
         self.head_persist_interval.set(interval.max(1));
+    }
+
+    /// Set the journal id namespace to lane `lane` (see `id_base` docs).
+    pub fn set_journal_lane(&self, lane: u64) {
+        self.id_base.set(lane << 40);
+    }
+
+    fn jot(&self, subsystem: Subsystem, kind: EventKind, index: u64, bytes: u64) {
+        if let Some(j) = self.pm.journal() {
+            j.record(subsystem, kind, self.id_base.get() | index, index, bytes);
+        }
     }
 
     /// The log geometry.
@@ -351,6 +368,7 @@ impl RedoLog {
     pub async fn mark_done(&self, index: u64) -> RdmaResult<()> {
         let state_addr = self.layout.slot_addr(index) + 32;
         self.pm.cache_write(state_addr, &STATE_DONE.to_le_bytes())?;
+        self.jot(Subsystem::Log, EventKind::LogDone, index, 0);
         self.done_window.borrow_mut().insert(index);
         // Advance head over contiguous completions.
         let mut head = self.cursor.head();
@@ -386,16 +404,33 @@ impl RedoLog {
     pub fn recover(&self) -> Vec<LogEntry> {
         let head_bytes = self.pm.read_persistent_view(self.layout.region.offset, 8);
         let head = u64_at(&head_bytes, 0);
+        self.jot(Subsystem::Recovery, EventKind::RecoveryStart, head, 0);
+        // The shared cursor survives the crash in the harness (it is host
+        // state): its tail is how far the client had appended, which bounds
+        // the slots the scan can fail to reach.
+        let appended_tail = self.cursor.tail().max(head);
         let mut pending = Vec::new();
         let mut idx = head;
         while let Some(entry) = self.read_entry_from(idx, true) {
             if !entry.done {
+                self.jot(
+                    Subsystem::Recovery,
+                    EventKind::RecoveryReplay,
+                    idx,
+                    entry.payload.len() as u64,
+                );
                 pending.push(entry);
             }
             idx += 1;
             if idx - head >= self.layout.slots {
                 break; // full lap: everything seen
             }
+        }
+        // Slots appended beyond the first invalid entry did not survive
+        // the crash (torn or still in volatile buffers): report them lost
+        // so the auditor can account for every append.
+        for lost in idx..appended_tail {
+            self.jot(Subsystem::Recovery, EventKind::RecoveryLost, lost, 0);
         }
         // Rebuild volatile cursors: tail = first invalid index.
         self.cursor.reset(head, idx);
@@ -420,6 +455,8 @@ pub struct RemoteLogWriter {
     /// Section 4.2: "the receiver should notify the sender to slow down").
     throttle_threshold: u64,
     throttle_backoff: SimDuration,
+    /// Journal id namespace (`lane << 40`), mirroring [`RedoLog`].
+    id_base: Cell<u64>,
 }
 
 /// Receipt for an appended entry.
@@ -450,6 +487,31 @@ impl RemoteLogWriter {
             cursor,
             throttle_threshold,
             throttle_backoff,
+            id_base: Cell::new(0),
+        }
+    }
+
+    /// Set the journal id namespace to lane `lane` (see `id_base` docs).
+    pub fn set_journal_lane(&self, lane: u64) {
+        self.id_base.set(lane << 40);
+    }
+
+    /// The journal id (`lane << 40 | index`) for log entry `index` — what
+    /// LogAppend records carry, and what RPC dispatch/complete records
+    /// should reuse so the auditor can pair them.
+    pub fn journal_id(&self, index: u64) -> u64 {
+        self.id_base.get() | index
+    }
+
+    fn jot_append(&self, index: u64, bytes: u64) {
+        if let Some(j) = self.qp.local().journal() {
+            j.record(
+                Subsystem::Log,
+                EventKind::LogAppend,
+                self.journal_id(index),
+                index,
+                bytes,
+            );
         }
     }
 
@@ -494,6 +556,7 @@ impl RemoteLogWriter {
         );
         self.flow_control().await;
         let index = self.cursor.advance_tail();
+        self.jot_append(index, data.len());
         let image = encode_entry(index, op, data);
         let token = self
             .qp
@@ -522,6 +585,7 @@ impl RemoteLogWriter {
         for (op, data) in items {
             assert!(data.len() <= self.layout.max_payload(), "payload too large");
             let index = self.cursor.advance_tail();
+            self.jot_append(index, data.len());
             let image = encode_entry(index, op, &data);
             writes.push((MemTarget::Pm(self.layout.slot_addr(index)), image));
             metas.push((index, data.len()));
@@ -545,6 +609,7 @@ impl RemoteLogWriter {
         assert!(data.len() <= self.layout.max_payload(), "payload too large");
         self.flow_control().await;
         let index = self.cursor.advance_tail();
+        self.jot_append(index, data.len());
         let image = encode_entry(index, op, data);
         let token = self.qp.send(image).await?;
         Ok(Appended {

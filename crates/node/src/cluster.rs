@@ -2,6 +2,7 @@
 
 use prdma_pmem::{DaxAllocator, PmConfig, PmDevice, VolatileMemory};
 use prdma_rnic::{Fabric, NodeId, Qp, QpMode, Rnic, RnicConfig};
+use prdma_simnet::journal::{self, AuditReport, Journal, Record};
 use prdma_simnet::trace::{TraceReport, Tracer};
 use prdma_simnet::SimHandle;
 
@@ -24,6 +25,10 @@ pub struct ClusterConfig {
     /// scratch region; keeping this small lets experiments with dozens of
     /// senders stay light on host memory.
     pub client_pm_capacity: u64,
+    /// Attach a per-node event [`Journal`] to every component. Off by
+    /// default: with no journal attached, the hot path allocates nothing
+    /// and records nothing.
+    pub journal: bool,
 }
 
 impl Default for ClusterConfig {
@@ -35,6 +40,7 @@ impl Default for ClusterConfig {
             cpu: CpuConfig::default(),
             dram_capacity: 64 * 1024 * 1024,
             client_pm_capacity: 2 * 1024 * 1024,
+            journal: false,
         }
     }
 }
@@ -64,6 +70,7 @@ pub struct Node {
     pub alloc: DaxAllocator,
     rnic: Rnic,
     tracer: Tracer,
+    journal: Option<Journal>,
 }
 
 impl Node {
@@ -76,6 +83,11 @@ impl Node {
     /// and RNIC. System builders assign its role (sender/receiver).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The node's event journal, if [`ClusterConfig::journal`] was set.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
     }
 
     /// Crash this node: RNIC SRAM, DRAM, and dirty LLC lines are lost;
@@ -130,6 +142,14 @@ impl Cluster {
             pm.set_tracer(&tracer);
             cpu.set_tracer(&tracer);
             rnic.set_tracer(&tracer);
+            // One journal per node, likewise shared — but only when asked
+            // for, so untraced runs pay nothing.
+            let journal = cfg.journal.then(|| {
+                let j = Journal::new(handle.clone(), i as u32);
+                pm.set_journal(&j);
+                rnic.set_journal(&j);
+                j
+            });
             nodes.push(Node {
                 id,
                 pm,
@@ -138,6 +158,7 @@ impl Cluster {
                 alloc,
                 rnic,
                 tracer,
+                journal,
             });
         }
         Cluster {
@@ -179,6 +200,22 @@ impl Cluster {
             report.merge(&node.tracer.report());
         }
         report
+    }
+
+    /// Merge every node's journal into one globally ordered record stream
+    /// (empty when journaling is disabled).
+    pub fn journal_records(&self) -> Vec<Record> {
+        let journals: Vec<Journal> = self
+            .nodes
+            .iter()
+            .filter_map(|n| n.journal.clone())
+            .collect();
+        journal::merge(&journals)
+    }
+
+    /// Run the durability auditor over the merged journal.
+    pub fn audit_journal(&self) -> AuditReport {
+        journal::audit(&self.journal_records())
     }
 
     /// Connect nodes `a` and `b` with a QP pair; the client-side QP (first

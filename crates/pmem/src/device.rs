@@ -11,7 +11,8 @@ use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use prdma_simnet::trace::{Phase, Span, Tracer};
+use prdma_simnet::journal::{EventKind, Journal, Subsystem, NO_ID};
+use prdma_simnet::trace::{counters, Phase, Span, Tracer};
 use prdma_simnet::{FifoResource, SimDuration, SimHandle};
 
 use crate::config::PmConfig;
@@ -61,6 +62,8 @@ struct PmInner {
     crashes: Cell<u64>,
     /// Latency-breakdown sink (the node's tracer, once attached).
     tracer: RefCell<Option<Tracer>>,
+    /// Structured event sink (the node's journal, once attached).
+    journal: RefCell<Option<Journal>>,
 }
 
 /// A simulated persistent-memory device. Cheap to clone (shared handle).
@@ -83,6 +86,7 @@ impl PmDevice {
                 bytes_persisted: Cell::new(0),
                 crashes: Cell::new(0),
                 tracer: RefCell::new(None),
+                journal: RefCell::new(None),
             }),
         }
     }
@@ -110,6 +114,26 @@ impl PmDevice {
     fn trace_incr(&self, name: &'static str) {
         if let Some(t) = self.inner.tracer.borrow().as_ref() {
             t.incr(name);
+        }
+    }
+
+    /// Attach the owning node's event journal: every commit of bytes to
+    /// the persistence domain is recorded as a `PmWrite` from then on.
+    pub fn set_journal(&self, journal: &Journal) {
+        *self.inner.journal.borrow_mut() = Some(journal.clone());
+    }
+
+    /// The attached journal, if any (lets layers above the device — e.g.
+    /// the redo log — record their events against the same sink).
+    pub fn journal(&self) -> Option<Journal> {
+        self.inner.journal.borrow().clone()
+    }
+
+    /// Journal a commit of `bytes` into the persistence domain. Kept in
+    /// lockstep with the `bytes_persisted` accounting.
+    fn jot_pm_write(&self, bytes: u64) {
+        if let Some(j) = self.inner.journal.borrow().as_ref() {
+            j.record(Subsystem::Pm, EventKind::PmWrite, NO_ID, NO_ID, bytes);
         }
     }
 
@@ -161,6 +185,7 @@ impl PmDevice {
         self.inner
             .bytes_persisted
             .set(self.inner.bytes_persisted.get() + data.len() as u64);
+        self.jot_pm_write(data.len() as u64);
         Ok(())
     }
 
@@ -176,6 +201,7 @@ impl PmDevice {
         self.inner
             .bytes_persisted
             .set(self.inner.bytes_persisted.get() + len);
+        self.jot_pm_write(len);
     }
 
     /// Place content in the persistence domain with zero simulated time —
@@ -217,7 +243,7 @@ impl PmDevice {
         if len == 0 {
             return;
         }
-        self.trace_incr("clflush_calls");
+        self.trace_incr(counters::CLFLUSH_CALLS);
         let _span = self.media_span();
         let line = self.inner.cfg.cacheline;
         let lines = len.div_ceil(line);
@@ -230,6 +256,7 @@ impl PmDevice {
         self.inner
             .bytes_persisted
             .set(self.inner.bytes_persisted.get() + lines * line);
+        self.jot_pm_write(lines * line);
     }
 
     /// An 8-byte atomic durable write (PM hardware guarantees 8-byte
@@ -283,7 +310,7 @@ impl PmDevice {
         if lines.is_empty() {
             return Ok(());
         }
-        self.trace_incr("clflush_calls");
+        self.trace_incr(counters::CLFLUSH_CALLS);
         let _span = self.media_span();
         // Issue cost per line on the CPU, then one media transfer.
         let issue = self.inner.cfg.clflush_issue * lines.len() as u64;
@@ -385,6 +412,7 @@ impl PmDevice {
         self.inner
             .bytes_persisted
             .set(self.inner.bytes_persisted.get() + data.len() as u64);
+        self.jot_pm_write(data.len() as u64);
     }
 
     fn covered_by_cache(&self, addr: u64, len: u64) -> bool {

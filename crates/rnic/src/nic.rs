@@ -6,7 +6,8 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use prdma_pmem::{PmDevice, VolatileMemory};
-use prdma_simnet::trace::{Phase, Span, Tracer};
+use prdma_simnet::journal::{EventKind, Journal, Subsystem, NO_ID};
+use prdma_simnet::trace::{counters, Phase, Span, Tracer};
 use prdma_simnet::{FifoResource, Notify, SimDuration, SimHandle};
 
 use crate::config::RnicConfig;
@@ -86,6 +87,8 @@ struct RnicInner {
     msgs_processed: Cell<u64>,
     /// Latency-breakdown sink (the node's tracer, once attached).
     tracer: std::cell::RefCell<Option<Tracer>>,
+    /// Structured event sink (the node's journal, once attached).
+    journal: std::cell::RefCell<Option<Journal>>,
 }
 
 /// One RDMA NIC attached to a node's PM and DRAM. Cheap to clone.
@@ -116,6 +119,7 @@ impl Rnic {
                 epoch: Cell::new(0),
                 msgs_processed: Cell::new(0),
                 tracer: std::cell::RefCell::new(None),
+                journal: std::cell::RefCell::new(None),
             }),
         }
     }
@@ -140,6 +144,26 @@ impl Rnic {
     fn trace_incr(&self, name: &'static str) {
         if let Some(t) = self.inner.tracer.borrow().as_ref() {
             t.incr(name);
+        }
+    }
+
+    /// Attach the owning node's event journal. NIC-internal transitions
+    /// (SRAM admits, DMA tickets, WQE/CQE traffic, posted-write drains)
+    /// are recorded against it; when unattached nothing is recorded or
+    /// allocated.
+    pub fn set_journal(&self, journal: &Journal) {
+        *self.inner.journal.borrow_mut() = Some(journal.clone());
+    }
+
+    /// The attached journal, if any (shared with the QP layer, which
+    /// records doorbells and wire segments against it).
+    pub fn journal(&self) -> Option<Journal> {
+        self.inner.journal.borrow().clone()
+    }
+
+    fn jot(&self, subsystem: Subsystem, kind: EventKind, wr_id: u64, bytes: u64) {
+        if let Some(j) = self.inner.journal.borrow().as_ref() {
+            j.record(subsystem, kind, NO_ID, wr_id, bytes);
         }
     }
 
@@ -179,12 +203,14 @@ impl Rnic {
         self.inner
             .sram_peak
             .set(self.inner.sram_peak.get().max(now));
+        self.jot(Subsystem::Nic, EventKind::SramAdmit, NO_ID, len);
     }
 
     /// Release staged bytes after DMA completes.
     pub fn sram_release(&self, len: u64) {
         let cur = self.inner.sram_bytes.get();
         self.inner.sram_bytes.set(cur.saturating_sub(len));
+        self.jot(Subsystem::Nic, EventKind::SramRelease, NO_ID, len);
     }
 
     /// Peak SRAM occupancy observed (bytes).
@@ -248,13 +274,13 @@ impl Rnic {
             MemTarget::Pm(addr) => {
                 if self.inner.cfg.ddio {
                     // DDIO routes the DMA into the LLC: volatile.
-                    self.trace_incr("ddio_dma_writes");
+                    self.trace_incr(counters::DDIO_DMA_WRITES);
                     for (off, bytes) in payload.inline_parts() {
                         self.inner.pm.cache_write(addr + off, bytes)?;
                     }
                     Ok(false)
                 } else {
-                    self.trace_incr("direct_dma_writes");
+                    self.trace_incr(counters::DIRECT_DMA_WRITES);
                     // Straight to the persistence domain: pay the media
                     // time for the whole transfer, then place the content.
                     // A crash during the media write aborts the whole
@@ -310,7 +336,8 @@ impl Rnic {
     /// PCIe fetch of a posted recv WQE (two-sided delivery prologue).
     /// A fetch is a PCIe *read*: request + completion, two bus traversals.
     pub async fn fetch_recv_wqe(&self) {
-        self.trace_incr("recv_wqe_fetches");
+        self.trace_incr(counters::RECV_WQE_FETCHES);
+        self.jot(Subsystem::Nic, EventKind::WqeFetch, NO_ID, 0);
         let _span = self.span(Phase::NicDma);
         self.inner
             .dma
@@ -324,7 +351,8 @@ impl Rnic {
     /// transports pay a higher hardware RTT than one-sided write + poll
     /// (paper Fig. 20: DaRPC vs FaRM).
     pub async fn dma_write_cqe(&self) {
-        self.trace_incr("cqe_dma_writes");
+        self.trace_incr(counters::CQE_DMA_WRITES);
+        self.jot(Subsystem::Nic, EventKind::CqeWrite, NO_ID, 0);
         let _span = self.span(Phase::NicDma);
         self.inner.dma.process(self.inner.cfg.pcie_latency).await;
     }
@@ -334,12 +362,14 @@ impl Rnic {
         let t = self.inner.next_dma_ticket.get();
         self.inner.next_dma_ticket.set(t + 1);
         self.inner.active_dma.borrow_mut().insert(t);
+        self.jot(Subsystem::Nic, EventKind::DmaIssue, t, 0);
         t
     }
 
     /// Mark the end of a posted DMA write, releasing waiting reads.
     pub fn end_pending_dma(&self, ticket: u64) {
         self.inner.active_dma.borrow_mut().remove(&ticket);
+        self.jot(Subsystem::Nic, EventKind::DmaComplete, ticket, 0);
         // Wake every drain waiter: each re-checks its own barrier (a
         // notify_one could wake a waiter whose barrier is not yet met,
         // losing the wake another waiter needed).
@@ -351,6 +381,7 @@ impl Rnic {
     /// barrier, not a quiescence requirement).
     pub async fn drain_posted_writes(&self) {
         let barrier = self.inner.next_dma_ticket.get();
+        self.jot(Subsystem::Flush, EventKind::FlushIssue, barrier, 0);
         // Only an actual wait is a flush stall; instantaneous drains
         // (nothing posted) stay out of the FlushWait distribution.
         let mut span: Option<Span> = None;
@@ -361,7 +392,10 @@ impl Rnic {
                     span = span.or_else(|| self.span(Phase::FlushWait));
                     self.inner.dma_drained.notified().await;
                 }
-                _ => return,
+                _ => {
+                    self.jot(Subsystem::Flush, EventKind::FlushAck, barrier, 0);
+                    return;
+                }
             }
         }
     }

@@ -17,6 +17,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use prdma_simnet::journal::{EventKind, Subsystem, NO_ID};
 use prdma_simnet::trace::{Phase, Span};
 use prdma_simnet::{
     oneshot, FifoResource, Notify, OneshotReceiver, SharedLink, SimDuration, SimHandle,
@@ -231,9 +232,25 @@ impl Qp {
         self.inner.local.config()
     }
 
+    /// Journal one event on the posting (local) node's Qp track.
+    fn jot_local(&self, kind: EventKind, bytes: u64) {
+        if let Some(j) = self.inner.local.journal() {
+            j.record(Subsystem::Qp, kind, NO_ID, NO_ID, bytes);
+        }
+    }
+
+    /// Journal one event on the remote node's Qp track (segments the
+    /// remote NIC puts on the wire back toward us: ACKs, read data).
+    fn jot_remote(&self, kind: EventKind, bytes: u64) {
+        if let Some(j) = self.inner.remote.journal() {
+            j.record(Subsystem::Qp, kind, NO_ID, NO_ID, bytes);
+        }
+    }
+
     async fn post_cost(&self, d: SimDuration) {
         // Verb posting is software on the local node; the tracer's role
         // decides whether that is sender- or receiver-side time.
+        self.jot_local(EventKind::Doorbell, 0);
         let _span = self.inner.local.tracer().map(|t| t.span_sw());
         let cpu = self.inner.sender_cpu.borrow().clone();
         match cpu {
@@ -355,6 +372,7 @@ impl Qp {
         // Read request: header-sized message.
         {
             let _span = self.wire_span();
+            self.jot_local(EventKind::WireSegment, self.cfg().header_bytes + 16);
             self.inner
                 .out_link
                 .transmit(self.cfg().header_bytes + 16)
@@ -365,6 +383,7 @@ impl Qp {
         let payload = self.inner.remote.dma_read(target, len, inline).await?;
         {
             let _span = self.wire_span();
+            self.jot_remote(EventKind::WireSegment, self.cfg().header_bytes + len);
             self.inner
                 .back_link
                 .transmit(self.cfg().header_bytes + len)
@@ -383,6 +402,7 @@ impl Qp {
         self.inner.local.process_message().await;
         {
             let _span = self.wire_span();
+            self.jot_local(EventKind::WireSegment, self.cfg().header_bytes);
             self.inner.out_link.transmit(self.cfg().header_bytes).await;
         }
         self.inner.remote.check_up()?;
@@ -390,6 +410,7 @@ impl Qp {
         self.inner.remote.drain_posted_writes().await;
         {
             let _span = self.wire_span();
+            self.jot_remote(EventKind::WireSegment, self.cfg().ack_bytes);
             self.inner.back_link.transmit(self.cfg().ack_bytes).await;
         }
         self.inner.local.process_message().await;
@@ -441,6 +462,7 @@ impl Qp {
         self.inner.local.process_message().await;
         {
             let _span = self.wire_span();
+            self.jot_local(EventKind::WireSegment, self.cfg().header_bytes + len);
             self.inner
                 .out_link
                 .transmit(self.cfg().header_bytes + len)
@@ -454,6 +476,7 @@ impl Qp {
                     let _span = self.wire_span();
                     let d = self.cfg().rc_retransmit_delay;
                     self.inner.handle.sleep(d).await;
+                    self.jot_local(EventKind::WireSegment, self.cfg().header_bytes + len);
                     self.inner
                         .out_link
                         .transmit(self.cfg().header_bytes + len)
@@ -518,6 +541,7 @@ impl Qp {
             // Hardware ACK generated at SRAM arrival (NOT persistence).
             {
                 let _span = self.wire_span();
+                self.jot_remote(EventKind::WireSegment, self.cfg().ack_bytes);
                 self.inner.back_link.transmit(self.cfg().ack_bytes).await;
             }
             self.inner.local.process_message().await;

@@ -17,6 +17,9 @@
 //! * [`Histogram`] — HDR-style log-linear latency recording.
 //! * [`Tracer`] / [`Span`] — zero-cost per-phase latency tracing against
 //!   the virtual clock (the paper's Fig. 20 breakdown layer).
+//! * [`Journal`] — bounded per-node rings of typed event records with
+//!   causal IDs, with Perfetto export, utilization gauges, and a
+//!   journal-driven durability auditor (see [`journal`]).
 //!
 //! Everything is deterministic: a [`Sim`] seeded identically replays the
 //! exact same event ordering, which the test suites rely on.
@@ -43,6 +46,7 @@
 mod channel;
 mod combinator;
 mod executor;
+pub mod journal;
 mod resource;
 pub mod rng;
 mod stats;
@@ -55,6 +59,7 @@ pub use channel::{
 };
 pub use combinator::{select2, timeout, Either, Elapsed, Timeout};
 pub use executor::{JoinHandle, Sim, SimHandle, Sleep, YieldNow};
+pub use journal::{EventKind, Journal, Record, Subsystem};
 pub use resource::{FifoResource, SharedLink};
 pub use stats::{Histogram, Summary};
 pub use sync::{Acquire, Notified, Notify, SemPermit, Semaphore};

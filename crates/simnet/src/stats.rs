@@ -179,6 +179,11 @@ impl Summary {
         self.mean_ns / 1e3
     }
 
+    /// Median in microseconds.
+    pub fn p50_us(&self) -> f64 {
+        self.p50_ns as f64 / 1e3
+    }
+
     /// 95th percentile in microseconds.
     pub fn p95_us(&self) -> f64 {
         self.p95_ns as f64 / 1e3
@@ -187,6 +192,11 @@ impl Summary {
     /// 99th percentile in microseconds.
     pub fn p99_us(&self) -> f64 {
         self.p99_ns as f64 / 1e3
+    }
+
+    /// 99.9th percentile in microseconds.
+    pub fn p999_us(&self) -> f64 {
+        self.p999_ns as f64 / 1e3
     }
 }
 

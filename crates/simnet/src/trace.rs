@@ -37,6 +37,26 @@ use crate::executor::SimHandle;
 use crate::stats::{Histogram, Summary};
 use crate::time::{SimDuration, SimTime};
 
+pub mod counters {
+    //! Canonical [`Tracer`](super::Tracer) counter names.
+    //!
+    //! Counters are keyed by `&'static str`; centralizing the names here
+    //! means a typo'd name at a call site is a compile error instead of a
+    //! silently split counter.
+
+    /// DMA payload writes that landed in the LLC via DDIO (volatile).
+    pub const DDIO_DMA_WRITES: &str = "ddio_dma_writes";
+    /// DMA payload writes that went directly to their target (durable
+    /// when the target is PM).
+    pub const DIRECT_DMA_WRITES: &str = "direct_dma_writes";
+    /// Receive WQEs fetched over PCIe (send/recv verbs only).
+    pub const RECV_WQE_FETCHES: &str = "recv_wqe_fetches";
+    /// Completion-queue entries DMA'd to host memory.
+    pub const CQE_DMA_WRITES: &str = "cqe_dma_writes";
+    /// Explicit cache-line flushes executed against the PM device.
+    pub const CLFLUSH_CALLS: &str = "clflush_calls";
+}
+
 /// Where a traced duration belongs in the latency breakdown.
 ///
 /// The first five phases are **exclusive**: every simulated activity is
@@ -584,14 +604,14 @@ mod tests {
         let sim = Sim::new(1);
         let a = Tracer::new(sim.handle());
         let b = Tracer::new(sim.handle());
-        a.incr("ddio_dma");
-        a.add("ddio_dma", 2);
-        b.incr("ddio_dma");
-        b.incr("clflush_calls");
+        a.incr(counters::DDIO_DMA_WRITES);
+        a.add(counters::DDIO_DMA_WRITES, 2);
+        b.incr(counters::DDIO_DMA_WRITES);
+        b.incr(counters::CLFLUSH_CALLS);
         let mut r = a.report();
         r.merge(&b.report());
-        assert_eq!(r.counter("ddio_dma"), 4);
-        assert_eq!(r.counter("clflush_calls"), 1);
+        assert_eq!(r.counter(counters::DDIO_DMA_WRITES), 4);
+        assert_eq!(r.counter(counters::CLFLUSH_CALLS), 1);
         assert_eq!(r.counter("absent"), 0);
     }
 

@@ -1,0 +1,95 @@
+//! Validate exported journal files (CI smoke helper).
+//!
+//! ```text
+//! cargo run --example journal_validate -- target/paper_results/journal_*.jsonl \
+//!     target/paper_results/journal_*.trace.json
+//! ```
+//!
+//! Each `.jsonl` argument is checked line-by-line with the in-tree JSON
+//! parser (every line must be an object carrying the journal schema's
+//! required fields); each `.json` argument must be a Chrome-trace file
+//! whose `traceEvents` array is non-empty. Exits non-zero on the first
+//! invalid file so CI can gate on it.
+
+use prdma_suite::simnet::journal::json::{self, Value};
+
+const JSONL_FIELDS: [&str; 7] = [
+    "ts_ns",
+    "node",
+    "subsystem",
+    "kind",
+    "rpc_id",
+    "wr_id",
+    "bytes",
+];
+
+fn validate_jsonl(path: &str, text: &str) -> Result<usize, String> {
+    let mut n = 0;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        for f in JSONL_FIELDS {
+            if v.get(f).is_none() {
+                return Err(format!("{path}:{}: missing field `{f}`", i + 1));
+            }
+        }
+        n += 1;
+    }
+    if n == 0 {
+        return Err(format!("{path}: no records"));
+    }
+    Ok(n)
+}
+
+fn validate_trace(path: &str, text: &str) -> Result<usize, String> {
+    let v = json::parse(text).map_err(|e| format!("{path}: {e}"))?;
+    let events = v
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{path}: missing traceEvents array"))?;
+    if events.is_empty() {
+        return Err(format!("{path}: empty traceEvents"));
+    }
+    for (i, e) in events.iter().enumerate() {
+        if e.get("ph").and_then(Value::as_str).is_none() {
+            return Err(format!("{path}: event {i} has no phase (`ph`)"));
+        }
+    }
+    Ok(events.len())
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: journal_validate <journal.jsonl|journal.trace.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let result = if path.ends_with(".jsonl") {
+            validate_jsonl(path, &text).map(|n| format!("{n} records"))
+        } else {
+            validate_trace(path, &text).map(|n| format!("{n} trace events"))
+        };
+        match result {
+            Ok(msg) => println!("OK   {path}: {msg}"),
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -12,6 +12,7 @@ use prdma_suite::core::{
 };
 use prdma_suite::node::{Cluster, ClusterConfig};
 use prdma_suite::rnic::Payload;
+use prdma_suite::simnet::journal;
 use prdma_suite::simnet::rng::SmallRng;
 use prdma_suite::simnet::Sim;
 use prdma_suite::workloads::micro::{run_micro, MicroConfig};
@@ -37,6 +38,35 @@ fn full_run(seed: u64, kind: SystemKind) -> (u64, u64, u64) {
     )
 }
 
+/// Like [`full_run`] but with the event journal enabled; returns the
+/// JSONL export alongside the run fingerprint.
+fn journaled_run(seed: u64, kind: SystemKind) -> (String, (u64, u64, u64)) {
+    let mut sim = Sim::new(seed);
+    let mut ccfg = ClusterConfig::with_nodes(2);
+    ccfg.journal = true;
+    let cluster = Cluster::new(sim.handle(), ccfg);
+    let opts = SystemOpts::for_object_size(1024, ServerProfile::light());
+    let client = build_system(&cluster, kind, 1, 0, 0, &opts);
+    let cfg = MicroConfig {
+        objects: 500,
+        ops: 200,
+        object_size: 1024,
+        seed,
+        ..Default::default()
+    };
+    let h = sim.handle();
+    let r = sim.block_on(async move { run_micro(client.as_ref(), &h, &cfg).await });
+    let jsonl = journal::to_jsonl(&cluster.journal_records());
+    (
+        jsonl,
+        (
+            r.elapsed.as_nanos(),
+            r.latency.p99_ns,
+            sim.events_processed(),
+        ),
+    )
+}
+
 /// The entire stack is deterministic: identical seeds give identical
 /// simulated time, identical tail latencies, and identical event counts.
 #[test]
@@ -47,6 +77,29 @@ fn whole_stack_determinism() {
         assert_eq!(a, b, "{kind:?} not deterministic");
         let c = full_run(12, kind);
         assert_ne!(a.0, c.0, "{kind:?} seed-insensitive (suspicious)");
+    }
+}
+
+/// The journal export is deterministic and non-perturbing: same seed
+/// gives a byte-identical JSONL dump (one durable RPC, one baseline),
+/// and enabling the journal leaves the simulated schedule untouched —
+/// identical elapsed time, tail latency, and event count as the
+/// journal-free run.
+#[test]
+fn journal_export_is_deterministic() {
+    for kind in [SystemKind::WFlush, SystemKind::Darpc] {
+        let (a, fp_a) = journaled_run(11, kind);
+        let (b, fp_b) = journaled_run(11, kind);
+        assert!(!a.is_empty(), "{kind:?}: empty journal export");
+        assert_eq!(a, b, "{kind:?}: journal export not byte-identical");
+        assert_eq!(fp_a, fp_b, "{kind:?}: run fingerprint not stable");
+        assert_eq!(
+            fp_a,
+            full_run(11, kind),
+            "{kind:?}: journaling perturbed the schedule"
+        );
+        let (c, _) = journaled_run(12, kind);
+        assert_ne!(a, c, "{kind:?}: journal seed-insensitive (suspicious)");
     }
 }
 
