@@ -43,31 +43,67 @@ pub fn build_farm(
 impl FarmClient {
     async fn roundtrip(&self, req: Request) -> prdma::RpcResult<Response> {
         let (is_put, obj, len, count, data) = request_parts(&req);
+        let h = self.qp.fwd.local().handle().clone();
+        let retransfer = self.qp.fwd.local().config().retransfer_interval;
 
-        // One-sided write into the server's message ring; the server's
-        // polling thread notices it once the DMA lands.
-        let tok = self
-            .qp
-            .fwd
-            .write(MemTarget::Dram(self.ctx.req_slot()), request_image(&req))
-            .await?;
-        tok.wait().await;
-        self.ctx.node.cpu.poll_dispatch().await;
+        // A traditional RPC has no redo log: a request in flight when the
+        // server dies is simply lost. The client times out, waits for the
+        // service to come back *plus* the RDMA connection re-transfer
+        // interval (queue-pair re-establishment), and re-sends — the
+        // recovery path Fig. 12 charges the traditional scheme for.
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            if attempts > 64 {
+                return Err(prdma::RpcError::TimedOut);
+            }
+            if !self.ctx.node.service_is_up() {
+                self.ctx.node.wait_service_up().await;
+                h.sleep(retransfer).await;
+            }
 
-        let (payload, resp_len) = if is_put {
-            self.ctx.handle_put(obj, data.as_ref().expect("put")).await;
-            (None, 8)
-        } else {
-            let p = self.ctx.handle_get(obj, len, count).await;
-            let l = p.len();
-            (Some(p), l)
-        };
+            // One-sided write into the server's message ring; the server's
+            // polling thread notices it once the DMA lands.
+            let tok = match self
+                .qp
+                .fwd
+                .write(MemTarget::Dram(self.ctx.req_slot()), request_image(&req))
+                .await
+            {
+                Ok(tok) => tok,
+                // NIC down (full node crash): wait out the outage and
+                // re-establish, like a real RC QP error path.
+                Err(prdma_rnic::RdmaError::Disconnected) => continue,
+                Err(e) => return Err(e.into()),
+            };
+            tok.wait().await;
+            if !self.ctx.node.service_is_up() {
+                continue; // died before the poller saw the request
+            }
+            self.ctx.node.cpu.poll_dispatch().await;
 
-        reply_by_write(&self.qp.rev, &self.client_node, resp_len).await?;
-        Ok(Response {
-            payload,
-            durable: true,
-        })
+            let (payload, resp_len) = if is_put {
+                self.ctx.handle_put(obj, data.as_ref().expect("put")).await;
+                (None, 8)
+            } else {
+                let p = self.ctx.handle_get(obj, len, count).await;
+                let l = p.len();
+                (Some(p), l)
+            };
+            if !self.ctx.node.service_is_up() {
+                continue; // died mid-processing: no reply is coming
+            }
+
+            match reply_by_write(&self.qp.rev, &self.client_node, resp_len).await {
+                Ok(()) => {}
+                Err(prdma::RpcError::ServerDown) => continue,
+                Err(e) => return Err(e),
+            }
+            return Ok(Response {
+                payload,
+                durable: true,
+            });
+        }
     }
 }
 

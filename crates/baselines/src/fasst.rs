@@ -60,12 +60,15 @@ impl FasstClient {
 
         // UD is unreliable: FaSST recovers losses with client-side
         // timeouts and re-sends (at-least-once; puts are idempotent).
+        // A dropped request leaves its pre-posted recv buffer unconsumed;
+        // the next attempt posts another, and the stale targets are
+        // reclaimed when later sends land (UD recv queues over-provision).
         let h = self.qp.fwd.local().handle().clone();
         let mut attempts = 0;
         loop {
             attempts += 1;
             if attempts > MAX_RETRIES {
-                return Err(RpcError::Unsupported("FaSST retries exhausted"));
+                return Err(RpcError::TimedOut);
             }
             let image = request_image(&req);
             // Two-sided send: stage the message into a send buffer.

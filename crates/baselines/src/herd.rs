@@ -54,7 +54,7 @@ impl HerdClient {
         loop {
             attempts += 1;
             if attempts > 8 {
-                return Err(prdma::RpcError::Unsupported("Herd retries exhausted"));
+                return Err(prdma::RpcError::TimedOut);
             }
             let tok = self
                 .qp
@@ -76,10 +76,17 @@ impl HerdClient {
             (Some(p), l)
         };
 
-        // UD reply, fragmented at the MTU; dropped fragments re-sent.
+        // UD reply, fragmented at the MTU; dropped fragments re-sent, but
+        // only so many times — an unbounded loop would spin forever under
+        // a total loss burst (the client has long since timed out).
         let mtu = self.qp.rev.local().config().ud_mtu;
         let mut remaining = MSG_HEADER + resp_len;
+        let mut frag_attempts = 0;
         while remaining > 0 {
+            frag_attempts += 1;
+            if frag_attempts > 8 {
+                return Err(prdma::RpcError::TimedOut);
+            }
             let frag = remaining.min(mtu);
             self.qp
                 .rev_client
@@ -89,6 +96,7 @@ impl HerdClient {
             let _ = self.qp.rev_client.try_recv();
             if delivered {
                 remaining -= frag;
+                frag_attempts = 0;
             }
         }
         client_poll(&self.client_node).await;

@@ -154,6 +154,111 @@ mod tests {
         );
     }
 
+    /// Build a 2-node cluster with `rate` injected packet loss on the
+    /// given node's NIC (loss applies to messages *towards* that node,
+    /// UC/UD only — RC retransmits in hardware).
+    fn lossy_setup(
+        seed: u64,
+        kind: SystemKind,
+        size: u64,
+        loss: &[(usize, f64)],
+    ) -> (Sim, Box<dyn prdma::RpcClient>, Cluster) {
+        let sim = Sim::new(seed);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(2));
+        let forever = SimTime::from_nanos(u64::MAX / 2);
+        for &(node, rate) in loss {
+            cluster.node(node).rnic().inject_loss(rate, forever);
+        }
+        let opts = SystemOpts::for_object_size(size, ServerProfile::light());
+        let client = build_system(&cluster, kind, 1, 0, 0, &opts);
+        (sim, client, cluster)
+    }
+
+    #[test]
+    fn herd_and_fasst_ride_out_moderate_loss() {
+        // 15% loss on both NICs: Herd loses UC requests (server side) and
+        // UD reply fragments (client side); FaSST loses UD both ways.
+        // Every op must still complete via the systems' own retries.
+        for kind in [SystemKind::Herd, SystemKind::Fasst] {
+            let (mut sim, client, cluster) = lossy_setup(23, kind, 512, &[(0, 0.15), (1, 0.15)]);
+            let pm = cluster.node(0).pm.clone();
+            sim.block_on(async move {
+                for i in 0..20u64 {
+                    let req = if i % 2 == 0 {
+                        Request::Put {
+                            obj: i % 4,
+                            data: Payload::from_bytes(vec![0x40 + i as u8; 64]),
+                        }
+                    } else {
+                        Request::Get {
+                            obj: i % 4,
+                            len: 64,
+                        }
+                    };
+                    client.call(req).await.unwrap_or_else(|e| {
+                        panic!("{kind:?} op {i} failed under moderate loss: {e}")
+                    });
+                }
+            });
+            // The last put's real bytes landed despite the lossy wire.
+            let region = cluster.node(0).alloc.lookup("objects").unwrap();
+            let got = pm.read_persistent_view(region.offset + 2 * 512, 64);
+            assert_eq!(got, vec![0x40 + 18; 64], "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn herd_total_reply_loss_errors_instead_of_hanging() {
+        // Replies towards the client always drop: the reply-fragment loop
+        // must give up with TimedOut, not spin forever.
+        let (mut sim, client, _cluster) = lossy_setup(29, SystemKind::Herd, 512, &[(1, 1.0)]);
+        let err = sim.block_on(async move {
+            client
+                .call(Request::Get { obj: 0, len: 64 })
+                .await
+                .expect_err("total reply loss cannot succeed")
+        });
+        assert_eq!(err, prdma::RpcError::TimedOut);
+    }
+
+    #[test]
+    fn fasst_total_request_loss_times_out() {
+        // Requests towards the server always drop: FaSST's bounded retry
+        // must surface TimedOut (a *failure*, not an unsupported shape).
+        let (mut sim, client, _cluster) = lossy_setup(31, SystemKind::Fasst, 512, &[(0, 1.0)]);
+        let err = sim.block_on(async move {
+            client
+                .call(Request::Get { obj: 0, len: 64 })
+                .await
+                .expect_err("total request loss cannot succeed")
+        });
+        assert_eq!(err, prdma::RpcError::TimedOut);
+    }
+
+    #[test]
+    fn scalerpc_is_unaffected_by_datagram_loss() {
+        // ScaleRPC runs RC in both directions: injected datagram loss
+        // costs at most hardware retransmits, never a failed op.
+        let (mut sim, client, _cluster) =
+            lossy_setup(37, SystemKind::ScaleRpc, 512, &[(0, 0.9), (1, 0.9)]);
+        sim.block_on(async move {
+            for i in 0..10u64 {
+                let req = if i % 2 == 0 {
+                    Request::Put {
+                        obj: i,
+                        data: Payload::synthetic(512, i),
+                    }
+                } else {
+                    Request::Get {
+                        obj: i - 1,
+                        len: 512,
+                    }
+                };
+                client.call(req).await.expect("RC rides out loss");
+            }
+        });
+    }
+
     #[test]
     fn darpc_rtt_roughly_double_farm_small_objects() {
         // Fig 20: two-sided DaRPC pays ~2x the effective RTT of FaRM.

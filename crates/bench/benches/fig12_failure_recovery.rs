@@ -1,7 +1,15 @@
 //! Regenerates the paper's 12_failure_recovery series. Run: cargo bench --bench fig12_failure_recovery
+//!
+//! Pass `-- --in-sim` to run the fault-*injection* variant instead: real
+//! service crashes on the full transport, cross-validated against the
+//! analytic model (add `--journal` to capture and audit event journals).
 use prdma_bench::{emit_all, exp, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    emit_all(exp::fig12(scale));
+    if std::env::args().any(|a| a == "--in-sim") {
+        emit_all(exp::fig12_in_sim(scale));
+    } else {
+        emit_all(exp::fig12(scale));
+    }
 }

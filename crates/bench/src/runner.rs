@@ -26,7 +26,7 @@ pub fn journal_enabled() -> bool {
 /// auditor, panicking on any ordering violation. No-op unless
 /// [`journal_enabled`]. Repeated runs with the same tag overwrite — each
 /// file holds the last run of that configuration.
-fn export_and_audit(cluster: &Cluster, tag: &str) {
+pub(crate) fn export_and_audit(cluster: &Cluster, tag: &str) {
     if !journal_enabled() {
         return;
     }

@@ -31,7 +31,9 @@ use crate::log::{
     entry_data_part, LogCursor, LogEntry, LogLayout, OpCode, RedoLog, RemoteLogWriter, RpcOperator,
     ENTRY_FOOTER, ENTRY_HEADER, LOG_HEADER_BYTES,
 };
-use crate::rpc::{Request, Response, RpcClient, RpcError, RpcFuture, RpcResult, ServerProfile};
+use crate::rpc::{
+    Request, Response, RetryPolicy, RpcClient, RpcError, RpcFuture, RpcResult, ServerProfile,
+};
 use crate::store::ObjectStore;
 
 /// Which durable RPC variant to build.
@@ -102,6 +104,10 @@ pub struct DurableConfig {
     /// Larger values keep PM media work off the completion path at the
     /// cost of replaying up to N idempotent entries after a crash.
     pub head_persist_interval: u64,
+    /// Client-side per-request timeout and bounded retry, used to ride
+    /// out packet loss and server crashes. The defaults never fire on a
+    /// healthy run.
+    pub retry: RetryPolicy,
 }
 
 impl Default for DurableConfig {
@@ -117,6 +123,7 @@ impl Default for DurableConfig {
             throttle_threshold: 128,
             throttle_backoff: SimDuration::from_micros(20),
             head_persist_interval: 16,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -185,6 +192,7 @@ pub struct DurableClient {
     shared: Rc<Shared>,
     client_node: Node,
     lane: usize,
+    retry: RetryPolicy,
 }
 
 /// The server endpoint of a durable RPC connection.
@@ -282,6 +290,7 @@ pub fn build_durable(
         shared: Rc::clone(&shared),
         client_node: client,
         lane,
+        retry: cfg.retry,
     };
     let server_ep = DurableServer {
         node: server,
@@ -358,6 +367,10 @@ impl DurableServer {
                     // RC delivers in order: the i-th completion is entry i.
                     let index = arrived;
                     arrived += 1;
+                    // Software handling stalls while the service is down;
+                    // the NIC-side absorption above (recv into PM slots)
+                    // keeps running — that is the log-absorption property.
+                    node.wait_service_up().await;
                     let arrival =
                         handle_arrival(&shared, &node, &resp_qp, &log, index, c.payload, c.durable);
                     if shared.kind.is_receiver_initiated() {
@@ -403,6 +416,9 @@ impl DurableServer {
             let log = self.log.clone();
             h.spawn(async move {
                 while let Some(a) = rx.recv().await {
+                    // One-sided appends land regardless of software
+                    // liveness; *noticing* them needs a live service.
+                    node.wait_service_up().await;
                     let arrival =
                         handle_arrival(&shared, &node, &resp_qp, &log, a.index, a.data, a.durable);
                     if shared.kind.is_receiver_initiated() {
@@ -432,6 +448,7 @@ impl DurableServer {
         let profile = self.profile.clone();
         h.clone().spawn(async move {
             while let Some(work) = rx.recv().await {
+                node.wait_service_up().await;
                 let permit = pool.acquire().await;
                 let node = node.clone();
                 let log = log.clone();
@@ -481,6 +498,27 @@ impl DurableServer {
         }
         pending
     }
+
+    /// Service-restart recovery: replay the un-done log suffix *without*
+    /// rewinding cursors. A service-only crash preserves the NIC, PM, and
+    /// the shared cursor, and clients keep appending one-sided entries
+    /// while the service is away, so a [`recover_and_requeue`]-style tail
+    /// rewind would reissue indices the client already used. Entries a
+    /// queued arrival also delivers are applied once: the processing path
+    /// skips already-done entries. Returns the number re-enqueued.
+    ///
+    /// [`recover_and_requeue`]: DurableServer::recover_and_requeue
+    pub fn recover_service_and_requeue(&self) -> usize {
+        let pending = self.log.scan_pending();
+        let n = pending.len();
+        for e in pending {
+            let _ = self.shared.work_tx.send(Work::Entry {
+                index: e.index,
+                data: Payload::from_bytes(e.payload),
+            });
+        }
+        n
+    }
 }
 
 /// Handle an arrived log entry: receiver-initiated kinds persist and ACK;
@@ -494,6 +532,14 @@ async fn handle_arrival(
     image: Payload,
     durable_on_arrival: bool,
 ) {
+    // An arrival whose slot never became a valid committed entry (its DMA
+    // was aborted by a crash) or that was already applied (a stale
+    // notification after a recovery replay) must not be counted, ACKed,
+    // or processed — recovery accounts for it instead.
+    match log.read_entry(index) {
+        Some(e) if !e.done => {}
+        _ => return,
+    }
     shared.puts_logged.set(shared.puts_logged.get() + 1);
     let data = entry_data_part(&image);
 
@@ -549,13 +595,22 @@ async fn process_entry(
     index: u64,
     data: Payload,
 ) {
+    // Idempotence guard: a service-restart replay can race an
+    // already-queued arrival (or a retried client append) for the same
+    // entry; only the first processing applies it.
+    let Some(entry) = log.read_entry(index) else {
+        return;
+    };
+    if entry.done {
+        return;
+    }
     node.cpu.dispatch_thread().await;
     if profile.processing_time > SimDuration::ZERO {
         node.cpu.compute(profile.processing_time).await;
     }
-    // Apply: read the operator from the log and store the object.
-    let obj = log.read_entry(index).map(|e| e.op.obj_id).unwrap_or(0);
-    let _ = store.put(obj, &data).await;
+    // Apply: the operator comes from the log entry, the data travelled
+    // with the work item.
+    let _ = store.put(entry.op.obj_id, &data).await;
     let _ = log.mark_done(index).await;
 }
 
@@ -870,15 +925,51 @@ impl DurableClient {
     }
 }
 
+impl DurableClient {
+    /// Run `attempt` under the configured [`RetryPolicy`]: each attempt
+    /// gets `request_timeout` of budget; retryable failures (transport
+    /// errors, server outages, timeouts) back off and re-send. Durable-RPC
+    /// retries are idempotent: a retried put re-appends a fresh log entry
+    /// and the second application of the same object write is a no-op.
+    async fn retry_loop<T, Fut, F>(&self, mut attempt: F) -> RpcResult<T>
+    where
+        Fut: std::future::Future<Output = RpcResult<T>>,
+        F: FnMut() -> Fut,
+    {
+        let h = self.get_qp.local().handle().clone();
+        let mut retries = 0u32;
+        loop {
+            match prdma_simnet::timeout(&h, self.retry.request_timeout, attempt()).await {
+                Ok(Ok(resp)) => return Ok(resp),
+                Ok(Err(e)) if !e.is_retryable() => return Err(e),
+                Ok(Err(e)) => {
+                    if retries >= self.retry.max_retries {
+                        return Err(e);
+                    }
+                }
+                Err(_elapsed) => {
+                    if retries >= self.retry.max_retries {
+                        return Err(RpcError::TimedOut);
+                    }
+                }
+            }
+            retries += 1;
+            h.sleep(self.retry.backoff).await;
+        }
+    }
+
+    async fn dispatch_one(&self, req: Request) -> RpcResult<Response> {
+        match req {
+            Request::Put { obj, data } => self.do_put(obj, data).await,
+            Request::Get { obj, len } => self.do_get(obj, len, 1).await,
+            Request::Scan { start, count, len } => self.do_get(start, len, count).await,
+        }
+    }
+}
+
 impl RpcClient for DurableClient {
     fn call(&self, req: Request) -> RpcFuture<'_> {
-        Box::pin(async move {
-            match req {
-                Request::Put { obj, data } => self.do_put(obj, data).await,
-                Request::Get { obj, len } => self.do_get(obj, len, 1).await,
-                Request::Scan { start, count, len } => self.do_get(start, len, count).await,
-            }
-        })
+        Box::pin(async move { self.retry_loop(|| self.dispatch_one(req.clone())).await })
     }
 
     fn call_batch(&self, reqs: Vec<Request>) -> crate::rpc::RpcBatchFuture<'_> {
@@ -891,14 +982,15 @@ impl RpcClient for DurableClient {
                     Request::Put { obj, data } => puts.push((obj, data)),
                     other => {
                         if !puts.is_empty() {
-                            out.extend(self.do_put_batch(std::mem::take(&mut puts)).await?);
+                            let chunk = std::mem::take(&mut puts);
+                            out.extend(self.retry_loop(|| self.do_put_batch(chunk.clone())).await?);
                         }
                         out.push(self.call(other).await?);
                     }
                 }
             }
             if !puts.is_empty() {
-                out.extend(self.do_put_batch(puts).await?);
+                out.extend(self.retry_loop(|| self.do_put_batch(puts.clone())).await?);
             }
             Ok(out)
         })

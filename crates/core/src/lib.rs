@@ -63,6 +63,7 @@ pub use log::{
 pub use recovery::{RecoveryOutcome, RecoveryStats};
 pub use replication::{build_replicated, ReplicatedClient};
 pub use rpc::{
-    Request, Response, RpcBatchFuture, RpcClient, RpcError, RpcFuture, RpcResult, ServerProfile,
+    Request, Response, RetryPolicy, RpcBatchFuture, RpcClient, RpcError, RpcFuture, RpcResult,
+    ServerProfile,
 };
 pub use store::ObjectStore;

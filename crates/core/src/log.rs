@@ -31,7 +31,7 @@ use std::rc::Rc;
 
 use prdma_pmem::{PmDevice, PmRegion};
 use prdma_rnic::{MemTarget, Payload, PersistToken, Qp, RdmaResult};
-use prdma_simnet::journal::{EventKind, Subsystem};
+use prdma_simnet::journal::{EventKind, Subsystem, NO_ID};
 use prdma_simnet::SimDuration;
 
 use crate::flush::FlushOps;
@@ -436,6 +436,47 @@ impl RedoLog {
         self.cursor.reset(head, idx);
         self.persisted_head.set(head);
         self.done_window.borrow_mut().clear();
+        pending
+    }
+
+    /// Service-restart scan: the un-done suffix from the current head, in
+    /// FIFO order, **without** touching cursors. A service-only crash
+    /// preserves the NIC, caches, PM, and the shared cursor, and clients
+    /// keep appending one-sided entries while the service is away — a
+    /// [`recover`](RedoLog::recover)-style tail rewind here would reissue
+    /// indices the client already used. The scan stops at the first
+    /// invalid slot: entries beyond it are in-flight appends whose DMA has
+    /// not landed yet; the normal arrival path delivers those.
+    ///
+    /// Journals an informational `RecoveryStart` (ids `NO_ID`, so the
+    /// auditor's replay-window invariant — which models all-or-nothing
+    /// volatile loss, not a live log — does not apply) carrying the number
+    /// of entries to replay.
+    pub fn scan_pending(&self) -> Vec<LogEntry> {
+        let head = self.cursor.head();
+        let tail = self.cursor.tail();
+        let mut pending = Vec::new();
+        let mut idx = head;
+        while idx < tail {
+            match self.read_entry(idx) {
+                Some(entry) => {
+                    if !entry.done {
+                        pending.push(entry);
+                    }
+                    idx += 1;
+                }
+                None => break,
+            }
+        }
+        if let Some(j) = self.pm.journal() {
+            j.record(
+                Subsystem::Recovery,
+                EventKind::RecoveryStart,
+                NO_ID,
+                NO_ID,
+                pending.len() as u64,
+            );
+        }
         pending
     }
 }

@@ -70,8 +70,21 @@ pub enum RpcError {
     Rdma(RdmaError),
     /// The server is down.
     ServerDown,
+    /// The request (including any per-system retries) exceeded its time
+    /// budget — distinct from [`RpcError::Unsupported`] so workload
+    /// harnesses count it as a *failed* op, not an unsupported shape.
+    TimedOut,
     /// Request shape not supported by this system (e.g. FaSST 4 KB MTU).
     Unsupported(&'static str),
+}
+
+impl RpcError {
+    /// Whether a retry of the same request could plausibly succeed later
+    /// (transport loss, server outage, timeout) — [`RpcError::Unsupported`]
+    /// never will.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, RpcError::Unsupported(_))
+    }
 }
 
 impl std::fmt::Display for RpcError {
@@ -79,7 +92,37 @@ impl std::fmt::Display for RpcError {
         match self {
             RpcError::Rdma(e) => write!(f, "rdma: {e}"),
             RpcError::ServerDown => write!(f, "server down"),
+            RpcError::TimedOut => write!(f, "timed out"),
             RpcError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+/// Client-side fault tolerance: per-request timeout plus bounded retry
+/// with a fixed backoff. The defaults are generous enough that a healthy
+/// run never trips them (the paper's durable RPCs complete in tens of
+/// microseconds) while still riding out a few-hundred-millisecond server
+/// restart: 64 retries spaced ~1 ms apart cover ~64 ms of deadness plus
+/// whatever [`RetryPolicy::request_timeout`] absorbs per attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Budget for a single attempt; an attempt still in flight at the
+    /// deadline is abandoned (its request may or may not have reached the
+    /// server — durable-RPC retries are idempotent re-appends).
+    pub request_timeout: SimDuration,
+    /// Attempts after the first before giving up with
+    /// [`RpcError::TimedOut`].
+    pub max_retries: u32,
+    /// Flat delay between attempts.
+    pub backoff: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            request_timeout: SimDuration::from_millis(10),
+            max_retries: 64,
+            backoff: SimDuration::from_millis(1),
         }
     }
 }

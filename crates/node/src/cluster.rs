@@ -1,10 +1,13 @@
 //! Node assembly and cluster construction.
 
+use std::cell::Cell;
+use std::rc::Rc;
+
 use prdma_pmem::{DaxAllocator, PmConfig, PmDevice, VolatileMemory};
 use prdma_rnic::{Fabric, NodeId, Qp, QpMode, Rnic, RnicConfig};
 use prdma_simnet::journal::{self, AuditReport, Journal, Record};
 use prdma_simnet::trace::{TraceReport, Tracer};
-use prdma_simnet::SimHandle;
+use prdma_simnet::{Notify, SimHandle};
 
 use crate::cpu::{CpuConfig, CpuModel};
 
@@ -71,6 +74,12 @@ pub struct Node {
     rnic: Rnic,
     tracer: Tracer,
     journal: Option<Journal>,
+    /// Software liveness: false while the node's RPC service is down.
+    /// Distinct from the NIC's hardware liveness — a *service* crash (the
+    /// paper's unikernel restart) leaves the NIC and PM operating, so
+    /// one-sided log appends keep landing while the service is away.
+    service_up: Rc<Cell<bool>>,
+    service_changed: Notify,
 }
 
 impl Node {
@@ -91,21 +100,55 @@ impl Node {
     }
 
     /// Crash this node: RNIC SRAM, DRAM, and dirty LLC lines are lost;
-    /// persisted PM survives. The node stays down until [`restart`].
+    /// persisted PM survives. The service goes down with the hardware.
+    /// The node stays down until [`restart`].
     ///
     /// [`restart`]: Node::restart
     pub fn crash(&self) {
         self.rnic.crash();
+        self.set_service_up(false);
     }
 
-    /// Bring the node back up.
+    /// Bring the node (hardware and service) back up.
     pub fn restart(&self) {
         self.rnic.restart();
+        self.set_service_up(true);
     }
 
     /// Whether the node is up.
     pub fn is_up(&self) -> bool {
         self.rnic.is_up()
+    }
+
+    /// Whether the node's RPC service is up (false during a service
+    /// crash *or* a full node crash).
+    pub fn service_is_up(&self) -> bool {
+        self.service_up.get()
+    }
+
+    /// Take only the RPC service down (NIC + PM keep running; one-sided
+    /// appends are still absorbed). Stays down until
+    /// [`restart_service`](Node::restart_service) or [`restart`](Node::restart).
+    pub fn crash_service(&self) {
+        self.set_service_up(false);
+    }
+
+    /// Bring the RPC service back up after a service crash.
+    pub fn restart_service(&self) {
+        self.set_service_up(true);
+    }
+
+    fn set_service_up(&self, up: bool) {
+        self.service_up.set(up);
+        self.service_changed.notify_all();
+    }
+
+    /// Wait until the service is up (resolves immediately if it is).
+    /// Server loops park here during a service outage.
+    pub async fn wait_service_up(&self) {
+        while !self.service_up.get() {
+            self.service_changed.notified().await;
+        }
     }
 }
 
@@ -159,6 +202,8 @@ impl Cluster {
                 rnic,
                 tracer,
                 journal,
+                service_up: Rc::new(Cell::new(true)),
+                service_changed: Notify::new(),
             });
         }
         Cluster {

@@ -10,6 +10,8 @@
 
 mod cluster;
 mod cpu;
+mod fault;
 
 pub use cluster::{Cluster, ClusterConfig, Node};
 pub use cpu::{CpuConfig, CpuModel};
+pub use fault::{FaultInjector, FaultStats};

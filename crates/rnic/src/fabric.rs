@@ -100,6 +100,25 @@ impl Fabric {
         connect(self.inner.handle.clone(), mode, ra, rb, ab, ba)
     }
 
+    /// Degrade (or restore, with `factor == 1.0`) the ingress link of
+    /// `node`: every message towards it serializes `factor`× slower.
+    /// Fault-injection hook for `FaultKind::LinkDegrade`.
+    pub fn degrade_ingress(&self, node: NodeId, factor: f64) {
+        // Materialize the ingress link even if nothing has used it yet so
+        // the degradation applies to the first message too.
+        let mut links = self.inner.links.borrow_mut();
+        links
+            .entry(node)
+            .or_insert_with(|| {
+                SharedLink::new(
+                    self.inner.handle.clone(),
+                    self.inner.cfg.link_gbps,
+                    self.inner.cfg.propagation,
+                )
+            })
+            .set_slowdown(factor);
+    }
+
     /// Congest the `from -> to` link with a background stream of
     /// `msg_bytes`-sized packets every `period` until `until`.
     ///
@@ -211,6 +230,34 @@ mod tests {
         assert!(
             busy.as_nanos() > idle.as_nanos() * 3 / 2,
             "busy {busy} vs idle {idle}"
+        );
+    }
+
+    #[test]
+    fn degraded_ingress_slows_writes_until_restored() {
+        let run = |degrade: bool| {
+            let mut sim = Sim::new(5);
+            let (f, a, b) = two_node_fabric(&sim);
+            if degrade {
+                f.degrade_ingress(b, 8.0);
+            }
+            let (qa, _qb) = f.connect(a, b, QpMode::Rc);
+            let h = sim.handle();
+            sim.block_on(async move {
+                let t0 = h.now();
+                for _ in 0..10 {
+                    qa.write(MemTarget::Pm(0), Payload::synthetic(8192, 0))
+                        .await
+                        .unwrap();
+                }
+                h.now() - t0
+            })
+        };
+        let healthy = run(false);
+        let degraded = run(true);
+        assert!(
+            degraded.as_nanos() > healthy.as_nanos() * 3 / 2,
+            "degraded {degraded} vs healthy {healthy}"
         );
     }
 

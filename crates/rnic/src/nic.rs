@@ -84,6 +84,15 @@ struct RnicInner {
     up: Cell<bool>,
     /// Incremented on every crash; lets protocols detect restarts.
     epoch: Cell<u64>,
+    /// Set when a PM-bound DMA aborted mid-flight (crash / SRAM loss):
+    /// its ticket completed without the data reaching the persistence
+    /// domain, so no flush barrier may certify durability until the NIC
+    /// is reset ([`Rnic::restart`]) and the log recovered.
+    dma_aborted: Cell<bool>,
+    /// Fault-injected extra loss on messages *into* this node: probability
+    /// and the virtual time the burst ends (ns).
+    injected_loss_rate: Cell<f64>,
+    injected_loss_until: Cell<u64>,
     msgs_processed: Cell<u64>,
     /// Latency-breakdown sink (the node's tracer, once attached).
     tracer: std::cell::RefCell<Option<Tracer>>,
@@ -117,6 +126,9 @@ impl Rnic {
                 sram_peak: Cell::new(0),
                 up: Cell::new(true),
                 epoch: Cell::new(0),
+                dma_aborted: Cell::new(false),
+                injected_loss_rate: Cell::new(0.0),
+                injected_loss_until: Cell::new(0),
                 msgs_processed: Cell::new(0),
                 tracer: std::cell::RefCell::new(None),
                 journal: std::cell::RefCell::new(None),
@@ -262,6 +274,7 @@ impl Rnic {
             self.inner.dma.process(pcie).await;
         }
         if self.inner.epoch.get() != epoch || !self.inner.up.get() {
+            self.note_dma_abort(target);
             return Ok(false);
         }
         match target {
@@ -288,6 +301,7 @@ impl Rnic {
                     // tested separately by crafting partial images).
                     self.inner.pm.simulate_write_time(payload.len()).await;
                     if self.inner.epoch.get() != epoch || !self.inner.up.get() {
+                        self.note_dma_abort(target);
                         return Ok(false);
                     }
                     for (off, bytes) in payload.inline_parts() {
@@ -305,7 +319,7 @@ impl Rnic {
     /// writes first — this is exactly the mechanism the paper's emulated
     /// `WFlush` (read-after-write) exploits.
     pub async fn dma_read(&self, target: MemTarget, len: u64, inline: bool) -> RdmaResult<Payload> {
-        self.drain_posted_writes().await;
+        self.drain_posted_writes().await?;
         // A DMA read is a request/completion round trip over the bus.
         let pcie = self.inner.cfg.pcie_latency * 2
             + prdma_simnet::transfer_time(len, self.inner.cfg.pcie_gbps);
@@ -376,10 +390,26 @@ impl Rnic {
         self.inner.dma_drained.notify_all();
     }
 
+    /// A PM-bound DMA aborted (crash / SRAM loss dropped its data after
+    /// its ticket was posted): poison flush barriers until the NIC resets.
+    /// DRAM-bound aborts are invisible to persistence and do not poison.
+    fn note_dma_abort(&self, target: MemTarget) {
+        if matches!(target, MemTarget::Pm(_)) && !self.inner.cfg.ddio {
+            self.inner.dma_aborted.set(true);
+        }
+    }
+
     /// Wait until every DMA write posted *before now* has completed
     /// (writes posted later do not delay this — PCIe ordering is a
     /// barrier, not a quiescence requirement).
-    pub async fn drain_posted_writes(&self) {
+    ///
+    /// Fails with [`RdmaError::Disconnected`] if the node is down when the
+    /// barrier resolves, or if any covered PM-bound DMA was aborted by a
+    /// crash or SRAM loss — an aborted ticket completes without its data
+    /// reaching the persistence domain, so ACKing the barrier would
+    /// certify durability over a torn entry. The poison clears on
+    /// [`restart`](Self::restart) (NIC reset + log recovery).
+    pub async fn drain_posted_writes(&self) -> RdmaResult<()> {
         let barrier = self.inner.next_dma_ticket.get();
         self.jot(Subsystem::Flush, EventKind::FlushIssue, barrier, 0);
         // Only an actual wait is a flush stall; instantaneous drains
@@ -393,8 +423,11 @@ impl Rnic {
                     self.inner.dma_drained.notified().await;
                 }
                 _ => {
+                    if !self.inner.up.get() || self.inner.dma_aborted.get() {
+                        return Err(RdmaError::Disconnected);
+                    }
                     self.jot(Subsystem::Flush, EventKind::FlushAck, barrier, 0);
-                    return;
+                    return Ok(());
                 }
             }
         }
@@ -416,9 +449,40 @@ impl Rnic {
         self.inner.dram.crash();
     }
 
-    /// Bring the node back up after a crash.
+    /// Bring the node back up after a crash. Also clears the torn-DMA
+    /// flush poison: a restart implies a NIC reset, and the recovery scan
+    /// that follows it accounts for every torn log entry.
     pub fn restart(&self) {
         self.inner.up.set(true);
+        self.inner.dma_aborted.set(false);
+    }
+
+    /// Drop the NIC's volatile staging SRAM and abort in-flight DMA while
+    /// the NIC stays up (an NIC-internal reset). Epoch bumps exactly as on
+    /// a crash, so every in-flight transfer is discarded; PM, DRAM, and
+    /// connectivity are untouched. Flush barriers stay poisoned until
+    /// [`restart`](Self::restart).
+    pub fn lose_sram(&self) {
+        self.inner.epoch.set(self.inner.epoch.get() + 1);
+        self.inner.sram_bytes.set(0);
+    }
+
+    /// Inject extra loss with probability `rate` on messages into this
+    /// node until virtual time `until` (fault-injection hook; RC absorbs
+    /// the loss via hardware retransmit, UC/UD drop silently).
+    pub fn inject_loss(&self, rate: f64, until: prdma_simnet::SimTime) {
+        assert!((0.0..=1.0).contains(&rate), "loss rate must be in [0,1]");
+        self.inner.injected_loss_rate.set(rate);
+        self.inner.injected_loss_until.set(until.as_nanos());
+    }
+
+    /// The currently active injected loss rate (0 outside any burst).
+    pub fn injected_loss(&self) -> f64 {
+        if self.inner.handle.now().as_nanos() < self.inner.injected_loss_until.get() {
+            self.inner.injected_loss_rate.get()
+        } else {
+            0.0
+        }
     }
 
     /// Crash epoch (number of crashes so far).
@@ -531,6 +595,54 @@ mod tests {
         assert_eq!(nic.pm().read_volatile_view(512, 5), vec![0; 5]);
         nic.restart();
         assert!(nic.is_up());
+    }
+
+    #[test]
+    fn sram_loss_aborts_inflight_dma_and_poisons_flush() {
+        let mut sim = Sim::new(1);
+        let nic = rnic_fixture(&sim);
+        let h = sim.handle();
+        let nic_w = nic.clone();
+        sim.spawn(async move {
+            // A PM write in flight when the SRAM is lost: aborted.
+            let durable = nic_w
+                .dma_write(MemTarget::Pm(0), &Payload::from_bytes(vec![5; 4096]))
+                .await
+                .unwrap();
+            assert!(!durable, "aborted DMA must not report durability");
+        });
+        let nic_f = nic.clone();
+        let flush = sim.block_on(async move {
+            h.sleep(SimDuration::from_nanos(200)).await;
+            nic_f.lose_sram();
+            // The NIC stays up, but no barrier may certify durability:
+            // the aborted ticket completed without its data landing.
+            h.sleep(SimDuration::from_micros(100)).await;
+            nic_f.drain_posted_writes().await
+        });
+        assert!(nic.is_up(), "SRAM loss must not take the node down");
+        assert_eq!(flush, Err(RdmaError::Disconnected));
+        assert_eq!(nic.pm().read_persistent_view(0, 8), vec![0; 8]);
+        // NIC reset + recovery clears the poison.
+        nic.restart();
+        let nic_f2 = nic.clone();
+        assert!(sim
+            .block_on(async move { nic_f2.drain_posted_writes().await })
+            .is_ok());
+    }
+
+    #[test]
+    fn injected_loss_expires_with_virtual_time() {
+        let mut sim = Sim::new(1);
+        let nic = rnic_fixture(&sim);
+        nic.inject_loss(0.5, prdma_simnet::SimTime::from_nanos(1_000));
+        assert_eq!(nic.injected_loss(), 0.5);
+        let nic2 = nic.clone();
+        let h = sim.handle();
+        sim.block_on(async move {
+            h.sleep(SimDuration::from_micros(2)).await;
+        });
+        assert_eq!(nic2.injected_loss(), 0.0, "burst must expire");
     }
 
     #[test]

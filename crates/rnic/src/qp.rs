@@ -407,7 +407,7 @@ impl Qp {
         }
         self.inner.remote.check_up()?;
         self.inner.remote.process_message().await;
-        self.inner.remote.drain_posted_writes().await;
+        self.inner.remote.drain_posted_writes().await?;
         {
             let _span = self.wire_span();
             self.jot_remote(EventKind::WireSegment, self.cfg().ack_bytes);
@@ -469,8 +469,13 @@ impl Qp {
                 .await;
         }
         // Wire loss: RC retransmits in hardware (pure delay); UC/UD drop
-        // the message silently — the sender still gets its local WC.
-        if self.cfg().loss_rate > 0.0 && self.inner.handle.gen_f64() < self.cfg().loss_rate {
+        // the message silently — the sender still gets its local WC. The
+        // effective rate combines the configured baseline with any
+        // fault-injected burst on the receiving node; the RNG is only
+        // consulted when a loss is possible, so loss-free schedules are
+        // byte-identical with and without the fault machinery.
+        let loss_rate = self.cfg().loss_rate.max(self.inner.remote.injected_loss());
+        if loss_rate > 0.0 && self.inner.handle.gen_f64() < loss_rate {
             match self.inner.mode {
                 QpMode::Rc => {
                     let _span = self.wire_span();

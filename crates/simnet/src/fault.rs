@@ -1,0 +1,248 @@
+//! Fault plans: deterministic schedules of crash, loss, and degradation
+//! events driven from virtual time.
+//!
+//! A [`FaultPlan`] is pure data — a time-sorted list of [`FaultEvent`]s —
+//! so the same plan applied to the same seeded simulation replays the
+//! exact same fault sequence. Plans are either scripted (built with
+//! [`FaultPlan::at`]) or generated stochastically from a seed
+//! ([`FaultPlan::stochastic_crashes`]); in both cases every event time is
+//! fixed *before* the simulation starts, which keeps the executor's RNG
+//! stream untouched and runs byte-reproducible.
+//!
+//! The plan itself knows nothing about NICs or clusters: an injector
+//! (see `prdma_node`) walks the schedule against the virtual clock and
+//! applies each event to the simulated hardware.
+
+use crate::rng::SmallRng;
+use crate::time::{SimDuration, SimTime};
+
+/// What a fault does to the target node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Full node (power) crash: the NIC goes down, staging SRAM,
+    /// in-flight DMA, and unflushed DRAM are lost; PM contents survive.
+    /// The node restarts after `down_for`.
+    NodeCrash {
+        /// Time from crash to restart.
+        down_for: SimDuration,
+    },
+    /// Service (software) crash: the RPC service stops responding for
+    /// `down_for` while the NIC and PM keep operating — the paper's
+    /// unikernel-restart fault, during which one-sided log appends are
+    /// still absorbed by PM.
+    ServiceCrash {
+        /// Time from crash to service restart.
+        down_for: SimDuration,
+    },
+    /// NIC staging-SRAM loss: dirty staged lines and in-flight DMA are
+    /// dropped (as on an NIC-internal reset) but the NIC stays up.
+    SramLoss,
+    /// Elevated packet-loss probability on messages *into* the node for
+    /// `duration` (UC/UD drops, RC hardware retransmits).
+    LossBurst {
+        /// Loss probability while the burst is active.
+        rate: f64,
+        /// Burst length.
+        duration: SimDuration,
+    },
+    /// The node's ingress link serializes `factor`× slower for
+    /// `duration` (congestion / link-training degradation).
+    LinkDegrade {
+        /// Serialization-time multiplier (> 1 slows the link).
+        factor: f64,
+        /// Degradation length.
+        duration: SimDuration,
+    },
+}
+
+impl FaultKind {
+    /// Stable lower-case name for logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::NodeCrash { .. } => "node_crash",
+            FaultKind::ServiceCrash { .. } => "service_crash",
+            FaultKind::SramLoss => "sram_loss",
+            FaultKind::LossBurst { .. } => "loss_burst",
+            FaultKind::LinkDegrade { .. } => "link_degrade",
+        }
+    }
+}
+
+/// One scheduled fault: `kind` strikes `node` at virtual time `at`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Virtual time the fault strikes.
+    pub at: SimTime,
+    /// Target node index (cluster ordering).
+    pub node: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, time-sorted schedule of fault events.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builder-style: add one scripted event, keeping the schedule sorted.
+    pub fn at(mut self, at: SimTime, node: usize, kind: FaultKind) -> Self {
+        self.push(FaultEvent { at, node, kind });
+        self
+    }
+
+    /// Add one event, keeping the schedule sorted by time (stable for
+    /// equal timestamps, so scripted ordering is preserved).
+    pub fn push(&mut self, ev: FaultEvent) {
+        let pos = self.events.partition_point(|e| e.at <= ev.at);
+        self.events.insert(pos, ev);
+    }
+
+    /// Merge another plan into this one (both stay time-sorted).
+    pub fn merge(&mut self, other: &FaultPlan) {
+        for ev in &other.events {
+            self.push(*ev);
+        }
+    }
+
+    /// The scheduled events, in time order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A seeded-stochastic crash schedule for one node: up-times are
+    /// exponential with mean `mean_uptime`, each crash keeps the node (or
+    /// service, if `service_only`) down for `down_for`, and generation
+    /// stops at `horizon`. All randomness comes from `seed`, so the plan
+    /// — and any simulation driven by it — is reproducible.
+    pub fn stochastic_crashes(
+        seed: u64,
+        node: usize,
+        mean_uptime: SimDuration,
+        down_for: SimDuration,
+        horizon: SimTime,
+        service_only: bool,
+    ) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA17_7A61);
+        let mut plan = FaultPlan::new();
+        let mut t = SimTime::ZERO;
+        loop {
+            let gap = draw_exp(&mut rng, mean_uptime);
+            t += gap;
+            if t >= horizon {
+                break;
+            }
+            let kind = if service_only {
+                FaultKind::ServiceCrash { down_for }
+            } else {
+                FaultKind::NodeCrash { down_for }
+            };
+            plan.push(FaultEvent { at: t, node, kind });
+            t += down_for;
+        }
+        plan
+    }
+}
+
+/// Exponential draw with the given mean (nanosecond-rounded, never zero).
+fn draw_exp(rng: &mut SmallRng, mean: SimDuration) -> SimDuration {
+    let u = rng.gen_range(1e-12..1.0_f64);
+    let ns = (-u.ln() * mean.as_nanos() as f64).round() as u64;
+    SimDuration::from_nanos(ns.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_plans_stay_sorted() {
+        let plan = FaultPlan::new()
+            .at(
+                SimTime::from_nanos(300),
+                0,
+                FaultKind::ServiceCrash {
+                    down_for: SimDuration::from_micros(1),
+                },
+            )
+            .at(SimTime::from_nanos(100), 1, FaultKind::SramLoss)
+            .at(
+                SimTime::from_nanos(200),
+                0,
+                FaultKind::LossBurst {
+                    rate: 0.5,
+                    duration: SimDuration::from_micros(2),
+                },
+            );
+        let times: Vec<u64> = plan.events().iter().map(|e| e.at.as_nanos()).collect();
+        assert_eq!(times, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn stochastic_plans_are_deterministic_per_seed() {
+        let mk = |seed| {
+            FaultPlan::stochastic_crashes(
+                seed,
+                0,
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(1),
+                SimTime::from_nanos(1_000_000_000),
+                true,
+            )
+        };
+        let a = mk(7);
+        let b = mk(7);
+        assert_eq!(a.events(), b.events());
+        assert!(!a.is_empty(), "1 s horizon at 10 ms mean must crash");
+        let c = mk(8);
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn stochastic_crashes_respect_horizon_and_downtime() {
+        let down = SimDuration::from_millis(2);
+        let plan = FaultPlan::stochastic_crashes(
+            42,
+            3,
+            SimDuration::from_millis(5),
+            down,
+            SimTime::from_nanos(500_000_000),
+            false,
+        );
+        let mut prev_end = SimTime::ZERO;
+        for ev in plan.events() {
+            assert!(ev.at < SimTime::from_nanos(500_000_000));
+            assert!(ev.at >= prev_end, "crash scheduled inside downtime");
+            assert_eq!(ev.node, 3);
+            assert!(matches!(ev.kind, FaultKind::NodeCrash { down_for } if down_for == down));
+            prev_end = ev.at + down;
+        }
+    }
+
+    #[test]
+    fn merge_interleaves() {
+        let a = FaultPlan::new().at(SimTime::from_nanos(10), 0, FaultKind::SramLoss);
+        let mut b = FaultPlan::new()
+            .at(SimTime::from_nanos(5), 1, FaultKind::SramLoss)
+            .at(SimTime::from_nanos(15), 1, FaultKind::SramLoss);
+        b.merge(&a);
+        let times: Vec<u64> = b.events().iter().map(|e| e.at.as_nanos()).collect();
+        assert_eq!(times, vec![5, 10, 15]);
+    }
+}

@@ -62,11 +62,13 @@ pub enum Subsystem {
     Rpc,
     /// Post-crash recovery scan.
     Recovery,
+    /// Fault injector: crash/restart/loss events from a `FaultPlan`.
+    Fault,
 }
 
 impl Subsystem {
     /// All subsystems, in track order for the Chrome-trace export.
-    pub const ALL: [Subsystem; 7] = [
+    pub const ALL: [Subsystem; 8] = [
         Subsystem::Qp,
         Subsystem::Nic,
         Subsystem::Pm,
@@ -74,6 +76,7 @@ impl Subsystem {
         Subsystem::Flush,
         Subsystem::Rpc,
         Subsystem::Recovery,
+        Subsystem::Fault,
     ];
 
     /// Stable lower-case name (used in both exports).
@@ -86,6 +89,7 @@ impl Subsystem {
             Subsystem::Flush => "flush",
             Subsystem::Rpc => "rpc",
             Subsystem::Recovery => "recovery",
+            Subsystem::Fault => "fault",
         }
     }
 
@@ -139,6 +143,21 @@ pub enum EventKind {
     RecoveryReplay,
     /// Recovery skipped a log slot as torn or stale.
     RecoveryLost,
+    /// Injected full-node crash (NIC down, volatile state lost).
+    NodeCrash,
+    /// Injected node restart (NIC back up, PM contents intact).
+    NodeRestart,
+    /// Injected service crash (software down; NIC + PM keep running).
+    ServiceCrash,
+    /// Injected service restart (software back up after recovery).
+    ServiceRestart,
+    /// Injected NIC staging-SRAM loss (dirty lines + in-flight DMA
+    /// dropped while the NIC stays up).
+    SramLoss,
+    /// Injected packet-loss burst began (`wr_id` = burst length in ns).
+    LossBurst,
+    /// Injected ingress-link degradation began (`wr_id` = length in ns).
+    LinkDegrade,
 }
 
 impl EventKind {
@@ -163,6 +182,13 @@ impl EventKind {
             EventKind::RecoveryStart => "recovery_start",
             EventKind::RecoveryReplay => "recovery_replay",
             EventKind::RecoveryLost => "recovery_lost",
+            EventKind::NodeCrash => "node_crash",
+            EventKind::NodeRestart => "node_restart",
+            EventKind::ServiceCrash => "service_crash",
+            EventKind::ServiceRestart => "service_restart",
+            EventKind::SramLoss => "sram_loss",
+            EventKind::LossBurst => "loss_burst",
+            EventKind::LinkDegrade => "link_degrade",
         }
     }
 }

@@ -20,6 +20,8 @@
 //! * [`Journal`] — bounded per-node rings of typed event records with
 //!   causal IDs, with Perfetto export, utilization gauges, and a
 //!   journal-driven durability auditor (see [`journal`]).
+//! * [`FaultPlan`] — deterministic schedules of crash / loss /
+//!   degradation events, scripted or seeded-stochastic (see [`fault`]).
 //!
 //! Everything is deterministic: a [`Sim`] seeded identically replays the
 //! exact same event ordering, which the test suites rely on.
@@ -46,6 +48,7 @@
 mod channel;
 mod combinator;
 mod executor;
+pub mod fault;
 pub mod journal;
 mod resource;
 pub mod rng;
@@ -59,6 +62,7 @@ pub use channel::{
 };
 pub use combinator::{select2, timeout, Either, Elapsed, Timeout};
 pub use executor::{JoinHandle, Sim, SimHandle, Sleep, YieldNow};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use journal::{EventKind, Journal, Record, Subsystem};
 pub use resource::{FifoResource, SharedLink};
 pub use stats::{Histogram, Summary};

@@ -108,6 +108,9 @@ pub struct SharedLink {
     gbps: f64,
     propagation: SimDuration,
     bytes_moved: Rc<Cell<u64>>,
+    // Serialization-time multiplier (1.0 = healthy); fault injection
+    // raises it to model a degraded / congested link.
+    slowdown: Rc<Cell<f64>>,
 }
 
 impl SharedLink {
@@ -120,13 +123,14 @@ impl SharedLink {
             gbps,
             propagation,
             bytes_moved: Rc::default(),
+            slowdown: Rc::new(Cell::new(1.0)),
         }
     }
 
     /// Move `bytes` through the link; resolves when the last bit arrives at
     /// the far end (serialization + queueing + propagation).
     pub async fn transmit(&self, bytes: u64) {
-        let ser = transfer_time(bytes, self.gbps);
+        let ser = transfer_time(bytes, self.gbps).mul_f64(self.slowdown.get());
         {
             let _permit = self.sem.acquire().await;
             self.handle.sleep(ser).await;
@@ -138,7 +142,21 @@ impl SharedLink {
 
     /// Serialization time for `bytes` on this link, without queueing.
     pub fn serialization_time(&self, bytes: u64) -> SimDuration {
-        transfer_time(bytes, self.gbps)
+        transfer_time(bytes, self.gbps).mul_f64(self.slowdown.get())
+    }
+
+    /// Set the serialization slowdown factor (>= 1 slows the link; 1
+    /// restores full speed). Shared across clones, so a fault injector
+    /// holding one clone degrades every sender. In-flight transfers keep
+    /// their already-computed serialization time.
+    pub fn set_slowdown(&self, factor: f64) {
+        assert!(factor >= 1.0, "slowdown must not speed the link up");
+        self.slowdown.set(factor);
+    }
+
+    /// Current serialization slowdown factor.
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown.get()
     }
 
     /// One-way propagation delay.
@@ -234,6 +252,27 @@ mod tests {
         // arrivals at 6us, 7us, 8us.
         assert_eq!(*done.borrow(), vec![6_000, 7_000, 8_000]);
         assert_eq!(link.bytes_moved(), 3000);
+    }
+
+    #[test]
+    fn degraded_link_serializes_slower_until_restored() {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        // 8 Gbps -> 1 us per 1000 bytes at full speed.
+        let link = SharedLink::new(h.clone(), 8.0, SimDuration::from_micros(5));
+        link.set_slowdown(4.0);
+        let l2 = link.clone();
+        let h2 = h.clone();
+        let at = sim.block_on(async move {
+            l2.transmit(1000).await; // 4 us serialization + 5 us propagation
+            let degraded = h2.now().as_nanos();
+            l2.set_slowdown(1.0);
+            l2.transmit(1000).await; // back to 1 us + 5 us
+            (degraded, h2.now().as_nanos())
+        });
+        assert_eq!(at.0, 9_000);
+        assert_eq!(at.1, 15_000);
+        assert_eq!(link.slowdown(), 1.0);
     }
 
     #[test]

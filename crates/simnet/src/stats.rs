@@ -103,8 +103,23 @@ impl Histogram {
         self.max
     }
 
-    /// Value at quantile `q` in [0, 1]; lower bound of the matching bucket's
-    /// representative value. Returns 0 for an empty histogram.
+    /// Midpoint of the bucket at `index`, the unbiased representative of
+    /// its `[low, low + width)` value range. Sub-buckets below `SUB_COUNT`
+    /// hold a single value, so their midpoint is that value.
+    fn bucket_mid(index: usize) -> u64 {
+        let low = Self::bucket_low(index);
+        if (index as u64) < SUB_COUNT {
+            return low;
+        }
+        let octave = index as u64 / SUB_COUNT - 1;
+        let width = 1u64 << octave;
+        low.saturating_add(width / 2)
+    }
+
+    /// Value at quantile `q` in [0, 1]; midpoint of the matching bucket,
+    /// clamped to the observed `[min, max]` so single-bucket and tail
+    /// quantiles never report values that were not recorded. Returns 0
+    /// for an empty histogram.
     pub fn percentile(&self, q: f64) -> u64 {
         if self.total == 0 {
             return 0;
@@ -118,7 +133,7 @@ impl Histogram {
             }
             seen += c;
             if seen >= rank {
-                return Self::bucket_low(i).min(self.max).max(self.min);
+                return Self::bucket_mid(i).clamp(self.min, self.max);
             }
         }
         self.max
@@ -280,6 +295,43 @@ mod tests {
         assert_eq!(s.count, 1000);
         assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns && s.p99_ns <= s.max_ns);
         assert!((s.mean_us() - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn percentile_of_constant_histogram_is_that_value() {
+        // Regression: the old implementation returned the bucket *lower
+        // bound*, so a histogram full of one value reported a percentile
+        // below it once the value exceeded the linear range.
+        for value in [1u64, 63, 64, 1000, 123_456, 7_000_000_000] {
+            let mut h = Histogram::new();
+            for _ in 0..100 {
+                h.record(value);
+            }
+            for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+                assert_eq!(h.percentile(q), value, "q={q} value={value}");
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_midpoint_is_unbiased_not_low() {
+        // 1000 and 1001 land in the same log-linear bucket (width 16 at
+        // that scale); the reported percentile must be the bucket midpoint
+        // clamped into [min, max], never below the bucket's true samples.
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let p = h.percentile(0.5);
+        assert_eq!(p, 1000, "constant histogram must clamp to the sample");
+        let mut spread = Histogram::new();
+        spread.record(992); // bucket [992, 1008)
+        spread.record(1007);
+        let mid = spread.percentile(0.5);
+        assert!(
+            (992..=1007).contains(&mid) && mid >= 1000 - 8,
+            "midpoint {mid} should sit at the bucket center"
+        );
     }
 
     #[test]

@@ -55,6 +55,10 @@ pub struct RunResult {
     pub ops: u64,
     /// Operations rejected as unsupported (e.g. FaSST over-MTU).
     pub unsupported: u64,
+    /// Operations that failed at the transport/RPC level even after the
+    /// system's own retries (loss bursts, server crashes). These count
+    /// toward elapsed time but not toward the latency distribution.
+    pub failed: u64,
     /// Total simulated duration.
     pub elapsed: SimDuration,
     /// Per-op latency summary.
@@ -64,7 +68,13 @@ pub struct RunResult {
 }
 
 impl RunResult {
-    fn from_histogram(ops: u64, unsupported: u64, elapsed: SimDuration, h: &Histogram) -> Self {
+    fn from_histogram(
+        ops: u64,
+        unsupported: u64,
+        failed: u64,
+        elapsed: SimDuration,
+        h: &Histogram,
+    ) -> Self {
         let kops = if elapsed > SimDuration::ZERO {
             ops as f64 / elapsed.as_secs_f64() / 1e3
         } else {
@@ -73,6 +83,7 @@ impl RunResult {
         RunResult {
             ops,
             unsupported,
+            failed,
             elapsed,
             latency: h.summary(),
             kops,
@@ -88,6 +99,7 @@ pub async fn run_micro(client: &dyn RpcClient, h: &SimHandle, cfg: &MicroConfig)
     let mut hist = Histogram::new();
     let mut done = 0u64;
     let mut unsupported = 0u64;
+    let mut failed = 0u64;
     let t0 = h.now();
     for i in 0..cfg.ops {
         let obj = dist.sample(&mut rng);
@@ -112,10 +124,15 @@ pub async fn run_micro(client: &dyn RpcClient, h: &SimHandle, cfg: &MicroConfig)
             Err(prdma::RpcError::Unsupported(_)) => {
                 unsupported += 1;
             }
-            Err(e) => panic!("micro-benchmark op failed: {e}"),
+            // Transport loss or a server outage the system's own retries
+            // could not ride out: the op failed, the run continues (a
+            // benchmark must survive the faults it measures).
+            Err(_) => {
+                failed += 1;
+            }
         }
     }
-    RunResult::from_histogram(done, unsupported, h.now() - t0, &hist)
+    RunResult::from_histogram(done, unsupported, failed, h.now() - t0, &hist)
 }
 
 /// Run `senders` concurrent clients against one server; returns the merged
@@ -136,16 +153,18 @@ pub async fn run_micro_concurrent(
         let h2 = h.clone();
         joins.push(h.spawn(async move {
             let r = run_micro(client.as_ref(), &h2, &cfg).await;
-            (r.ops, r.unsupported, r.latency)
+            (r.ops, r.unsupported, r.failed, r.latency)
         }));
     }
     let mut hist = Histogram::new();
     let mut ops = 0;
     let mut unsupported = 0;
+    let mut failed = 0;
     for j in joins {
-        let (o, u, s) = j.await;
+        let (o, u, f, s) = j.await;
         ops += o;
         unsupported += u;
+        failed += f;
         // Rebuild an approximate merged histogram from summaries is lossy;
         // instead we re-record the mean per client weighted by count.
         // For exact percentiles across clients use `run_micro_merged`.
@@ -153,7 +172,7 @@ pub async fn run_micro_concurrent(
             hist.record(s.mean_ns as u64);
         }
     }
-    RunResult::from_histogram(ops, unsupported, h.now() - t0, &hist)
+    RunResult::from_histogram(ops, unsupported, failed, h.now() - t0, &hist)
 }
 
 /// Like [`run_micro_concurrent`] but collects every sample exactly, via a
@@ -179,6 +198,8 @@ pub async fn run_micro_merged(
             let mut rng = workload_rng(cfg.seed);
             let dist = KeyDist::zipfian(cfg.objects);
             let mut done = 0u64;
+            let mut unsupported = 0u64;
+            let mut failed = 0u64;
             for i in 0..cfg.ops {
                 let obj = dist.sample(&mut rng);
                 let is_read = rng.gen::<f64>() < cfg.read_ratio;
@@ -194,20 +215,29 @@ pub async fn run_micro_merged(
                     }
                 };
                 let start = h2.now();
-                if client.call(req).await.is_ok() {
-                    hist.borrow_mut().record_duration(h2.now() - start);
-                    done += 1;
+                match client.call(req).await {
+                    Ok(_) => {
+                        hist.borrow_mut().record_duration(h2.now() - start);
+                        done += 1;
+                    }
+                    Err(prdma::RpcError::Unsupported(_)) => unsupported += 1,
+                    Err(_) => failed += 1,
                 }
             }
-            done
+            (done, unsupported, failed)
         }));
     }
     let mut ops = 0;
+    let mut unsupported = 0;
+    let mut failed = 0;
     for j in joins {
-        ops += j.await;
+        let (o, u, f) = j.await;
+        ops += o;
+        unsupported += u;
+        failed += f;
     }
     let hist = hist.borrow();
-    RunResult::from_histogram(ops, 0, h.now() - t0, &hist)
+    RunResult::from_histogram(ops, unsupported, failed, h.now() - t0, &hist)
 }
 
 #[cfg(test)]

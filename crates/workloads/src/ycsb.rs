@@ -174,6 +174,7 @@ pub async fn run_ycsb(client: &dyn RpcClient, h: &SimHandle, cfg: &YcsbConfig) -
     RunResult {
         ops: done,
         unsupported: cfg.ops - done,
+        failed: 0,
         elapsed,
         latency: hist.summary(),
         kops: if elapsed > SimDuration::ZERO {
