@@ -1,5 +1,6 @@
 //! DESIGN.md ablations: flush implementation, DDIO, flow-control
 //! threshold.
+//! Sweep points run in parallel (`PRDMA_PAR=<n>` caps workers, `1` = serial; output is byte-identical either way).
 use prdma_bench::{emit_all, exp, Scale};
 
 fn main() {

@@ -3,6 +3,7 @@
 //! Pass `-- --in-sim` to run the fault-*injection* variant instead: real
 //! service crashes on the full transport, cross-validated against the
 //! analytic model (add `--journal` to capture and audit event journals).
+//! Sweep points run in parallel (`PRDMA_PAR=<n>` caps workers, `1` = serial; output is byte-identical either way).
 use prdma_bench::{emit_all, exp, Scale};
 
 fn main() {

@@ -1,4 +1,5 @@
 //! Regenerates the paper's 13_object_size series. Run: cargo bench --bench fig13_object_size
+//! Sweep points run in parallel (`PRDMA_PAR=<n>` caps workers, `1` = serial; output is byte-identical either way).
 use prdma_bench::{emit_all, exp, Scale};
 
 fn main() {

@@ -1,4 +1,5 @@
 //! Regenerates Figs. 14-16 (network / receiver-CPU / sender-CPU load).
+//! Sweep points run in parallel (`PRDMA_PAR=<n>` caps workers, `1` = serial; output is byte-identical either way).
 use prdma_bench::{emit_all, exp, Scale};
 
 fn main() {

@@ -1,4 +1,5 @@
 //! Regenerates the paper's 17_concurrent_senders series. Run: cargo bench --bench fig17_concurrent_senders
+//! Sweep points run in parallel (`PRDMA_PAR=<n>` caps workers, `1` = serial; output is byte-identical either way).
 use prdma_bench::{emit_all, exp, Scale};
 
 fn main() {

@@ -1,4 +1,5 @@
 //! Regenerates the paper's 19_batching series. Run: cargo bench --bench fig19_batching
+//! Sweep points run in parallel (`PRDMA_PAR=<n>` caps workers, `1` = serial; output is byte-identical either way).
 use prdma_bench::{emit_all, exp, Scale};
 
 fn main() {

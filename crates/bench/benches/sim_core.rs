@@ -1,33 +1,75 @@
 //! Microbenches of the simulator's hot paths: executor spawn/sleep,
-//! channels, histogram recording, and redo-log entry encoding. These
-//! guard the harness's own performance (a slow simulator means slow
-//! paper regeneration).
+//! timer cancellation, channels, histogram recording, and redo-log entry
+//! encoding. These guard the harness's own performance (a slow simulator
+//! means slow paper regeneration).
 //!
 //! Dependency-free harness (no criterion, so the workspace builds
 //! offline): each bench runs a fixed number of iterations and reports
-//! wall time and per-element throughput. Under `cargo test` (which runs
-//! `harness = false` benches with `--test`) it does one quick iteration
-//! as a smoke check.
+//! wall time, per-element throughput, and — for the DES paths —
+//! simulator events/sec. Under `cargo test` (which runs `harness =
+//! false` benches with `--test`) it does one quick iteration as a smoke
+//! check.
+//!
+//! Besides the console lines, the run writes `BENCH_simcore.json` into
+//! the output directory (`PRDMA_OUT`, default `target/paper_results`):
+//! per-bench ns/iter + events/sec, plus — outside `--test` mode — the
+//! wall time of every fig sweep at smoke scale under the current
+//! `PRDMA_PAR`, so the perf trajectory has machine-readable data points.
 
 use prdma::{encode_entry, OpCode, RpcOperator};
+use prdma_bench::exp;
+use prdma_bench::report::output_dir;
+use prdma_bench::Scale;
 use prdma_rnic::Payload;
-use prdma_simnet::{channel, Histogram, Sim, SimDuration};
+use prdma_simnet::{channel, timeout, Histogram, Sim, SimDuration};
 use std::time::Instant;
 
-fn bench(name: &str, elements: u64, iters: u32, mut f: impl FnMut() -> u64) {
+struct BenchResult {
+    name: &'static str,
+    ns_per_iter: f64,
+    elems_per_sec: f64,
+    /// Simulator events/sec (None for non-DES benches).
+    events_per_sec: Option<f64>,
+}
+
+/// Run `f` `iters` times; `f` returns `(checksum, events)` where
+/// `events` is the simulator events processed per run (0 for non-DES
+/// benches). The checksum keeps the work observable.
+fn bench(
+    name: &'static str,
+    elements: u64,
+    iters: u32,
+    mut f: impl FnMut() -> (u64, u64),
+) -> BenchResult {
     // Warm-up + checksum so the work can't be optimized away.
-    let mut sink = f();
+    let (mut sink, events) = f();
     let start = Instant::now();
     for _ in 0..iters {
-        sink = sink.wrapping_add(f());
+        sink = sink.wrapping_add(f().0);
     }
     let elapsed = start.elapsed();
     let per_iter = elapsed / iters;
     let rate = elements as f64 / per_iter.as_secs_f64() / 1e6;
-    println!("{name:<28} {per_iter:>12.2?}/iter {rate:>10.2} Melem/s (sink {sink:x})");
+    let events_per_sec = (events > 0).then(|| events as f64 / per_iter.as_secs_f64());
+    match events_per_sec {
+        Some(eps) if eps >= 1e6 => println!(
+            "{name:<28} {per_iter:>12.2?}/iter {rate:>10.2} Melem/s {:>8.2} Mevents/s (sink {sink:x})",
+            eps / 1e6
+        ),
+        Some(eps) => println!(
+            "{name:<28} {per_iter:>12.2?}/iter {rate:>10.2} Melem/s {eps:>8.0} events/s (sink {sink:x})"
+        ),
+        None => println!("{name:<28} {per_iter:>12.2?}/iter {rate:>10.2} Melem/s (sink {sink:x})"),
+    }
+    BenchResult {
+        name,
+        ns_per_iter: per_iter.as_nanos() as f64,
+        elems_per_sec: rate * 1e6,
+        events_per_sec,
+    }
 }
 
-fn bench_executor(iters: u32) {
+fn bench_executor(iters: u32) -> BenchResult {
     bench("executor/spawn_sleep_10k", 10_000, iters, || {
         let mut sim = Sim::new(1);
         let h = sim.handle();
@@ -38,11 +80,37 @@ fn bench_executor(iters: u32) {
             });
         }
         sim.run();
-        sim.events_processed()
-    });
+        (sim.events_processed(), sim.events_processed())
+    })
 }
 
-fn bench_channels(iters: u32) {
+fn bench_timer_cancel(iters: u32) -> BenchResult {
+    // 10k tasks each register a long timeout around a short sleep: every
+    // op takes the register + cancel path of the timer slab (the Sleep
+    // inside `timeout` completes; the timeout's own timer is dropped
+    // unfired). Guards the cancelled-sleep slot reuse.
+    bench("executor/timeout_cancel_10k", 10_000, iters, || {
+        let mut sim = Sim::new(1);
+        let h = sim.handle();
+        for i in 0..10_000u64 {
+            let h2 = h.clone();
+            sim.spawn(async move {
+                let inner = h2.sleep(SimDuration::from_nanos(i % 97));
+                timeout(&h2, SimDuration::from_secs(3600), inner)
+                    .await
+                    .expect("inner sleep beats the 1h timeout");
+            });
+        }
+        sim.run();
+        let slab = sim.timer_slab_size() as u64;
+        (
+            sim.events_processed().wrapping_add(slab),
+            sim.events_processed(),
+        )
+    })
+}
+
+fn bench_channels(iters: u32) -> BenchResult {
     bench("channel/send_recv_100k", 100_000, iters, || {
         let mut sim = Sim::new(1);
         let (tx, mut rx) = channel::<u64>();
@@ -51,17 +119,18 @@ fn bench_channels(iters: u32) {
                 tx.send(i).unwrap();
             }
         });
-        sim.block_on(async move {
+        let sum = sim.block_on(async move {
             let mut sum = 0u64;
             while let Some(v) = rx.recv().await {
                 sum = sum.wrapping_add(v);
             }
             sum
-        })
-    });
+        });
+        (sum, sim.events_processed())
+    })
 }
 
-fn bench_histogram(iters: u32) {
+fn bench_histogram(iters: u32) -> BenchResult {
     bench("histogram/record_1m", 1_000_000, iters, || {
         let mut h = Histogram::new();
         let mut x = 88172645463325252u64;
@@ -71,11 +140,11 @@ fn bench_histogram(iters: u32) {
             x ^= x << 17;
             h.record(x % 10_000_000);
         }
-        h.percentile(0.99)
-    });
+        (h.percentile(0.99), 0)
+    })
 }
 
-fn bench_log_encode(iters: u32) {
+fn bench_log_encode(iters: u32) -> BenchResult {
     let op = RpcOperator {
         opcode: OpCode::Put,
         obj_id: 42,
@@ -86,17 +155,88 @@ fn bench_log_encode(iters: u32) {
         for i in 0..100_000u64 {
             total += encode_entry(i, op, &data).len();
         }
-        total
-    });
+        (total, 0)
+    })
+}
+
+/// Time every fig sweep at smoke scale under the current `PRDMA_PAR`.
+fn time_figs() -> Vec<(&'static str, f64)> {
+    let s = Scale::smoke();
+    type FigRun = Box<dyn Fn() -> usize>;
+    let figs: Vec<(&'static str, FigRun)> = vec![
+        ("fig08", Box::new(move || exp::fig08(s).len())),
+        ("fig09", Box::new(move || exp::fig09(s).len())),
+        ("fig10", Box::new(move || exp::fig10(s).len())),
+        ("fig11", Box::new(move || exp::fig11(s).len())),
+        ("fig12", Box::new(move || exp::fig12(s).len())),
+        ("fig13", Box::new(move || exp::fig13(s).len())),
+        ("fig14_15_16", Box::new(move || exp::fig14_15_16(s).len())),
+        ("fig17", Box::new(move || exp::fig17(s).len())),
+        ("fig18", Box::new(move || exp::fig18(s).len())),
+        ("fig19", Box::new(move || exp::fig19(s).len())),
+        ("fig20", Box::new(move || exp::fig20(s).len())),
+        ("table2", Box::new(move || exp::table2(s).len())),
+    ];
+    let mut out = Vec::with_capacity(figs.len());
+    for (name, f) in figs {
+        let t0 = Instant::now();
+        let tables = f();
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        println!("fig_smoke/{name:<22} {wall_ms:>10.1} ms ({tables} tables)");
+        out.push((name, wall_ms));
+    }
+    out
+}
+
+fn write_json(micro: &[BenchResult], figs: &[(&'static str, f64)]) {
+    use std::fmt::Write;
+    let mut j = String::with_capacity(2048);
+    j.push_str("{\n  \"schema\": \"prdma-simcore-bench-v1\",\n");
+    let _ = writeln!(
+        j,
+        "  \"par\": {},\n  \"micro\": [",
+        prdma_bench::runner::par_level()
+    );
+    for (i, b) in micro.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.0}, \"elems_per_sec\": {:.0}, \"events_per_sec\": {}}}{}",
+            b.name,
+            b.ns_per_iter,
+            b.elems_per_sec,
+            b.events_per_sec
+                .map_or("null".to_string(), |e| format!("{e:.0}")),
+            if i + 1 < micro.len() { "," } else { "" },
+        );
+    }
+    j.push_str("  ],\n  \"figs_smoke_wall_ms\": [\n");
+    for (i, (name, ms)) in figs.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"name\": \"{name}\", \"wall_ms\": {ms:.1}}}{}",
+            if i + 1 < figs.len() { "," } else { "" },
+        );
+    }
+    j.push_str("  ]\n}\n");
+    let dir = output_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_simcore.json");
+    std::fs::write(&path, j).expect("write BENCH_simcore.json");
+    println!("   (saved {})", path.display());
 }
 
 fn main() {
     // `cargo test` invokes harness=false benches with `--test`; run one
-    // iteration each as a smoke check and exit quickly.
+    // iteration each as a smoke check and exit quickly (no fig sweeps).
     let smoke = std::env::args().any(|a| a == "--test");
     let iters = if smoke { 1 } else { 20 };
-    bench_executor(iters);
-    bench_channels(iters);
-    bench_histogram(iters);
-    bench_log_encode(iters);
+    let micro = vec![
+        bench_executor(iters),
+        bench_timer_cancel(iters),
+        bench_channels(iters),
+        bench_histogram(iters),
+        bench_log_encode(iters),
+    ];
+    let figs = if smoke { Vec::new() } else { time_figs() };
+    write_json(&micro, &figs);
 }

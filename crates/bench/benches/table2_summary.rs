@@ -1,4 +1,5 @@
 //! Regenerates the paper's table2_summary series. Run: cargo bench --bench table2_summary
+//! Sweep points run in parallel (`PRDMA_PAR=<n>` caps workers, `1` = serial; output is byte-identical either way).
 use prdma_bench::{emit_all, exp, Scale};
 
 fn main() {

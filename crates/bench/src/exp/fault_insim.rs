@@ -26,7 +26,7 @@ use prdma_workloads::faults::{run_faulty, FaultConfig, MeasuredCosts, Scheme};
 use prdma_workloads::micro::{run_micro, MicroConfig, RunResult};
 
 use crate::report::Table;
-use crate::runner::{export_and_audit, journal_enabled, Scale};
+use crate::runner::{export_and_audit, journal_enabled, par_map, Scale};
 
 /// Service restart latency (the paper's 300 ms unikernel restart, /100).
 const RESTART: SimDuration = SimDuration::from_millis(3);
@@ -377,24 +377,31 @@ pub fn fig12_in_sim(scale: Scale) -> Vec<Table> {
             "crashes_farm",
         ],
     );
+    let mut points = Vec::new();
     for a in [0.99, 0.999] {
         for (w, label) in [(0.0, "100%Read"), (0.5, "50%R+50%W"), (1.0, "100%Write")] {
-            let c = insim_cell(&costs, a, w, ops, 2021);
-            assert_eq!(
-                c.durable_failed + c.traditional_failed,
-                0,
-                "ops lost despite retries at a={a} w={w}"
-            );
-            t.row(vec![
-                format!("{:.1}%", a * 100.0),
-                label.to_string(),
-                format!("{:.3}", c.in_sim_norm),
-                format!("{:.3}", c.analytic_norm),
-                format!("{:+.3}", c.in_sim_norm - c.analytic_norm),
-                c.durable_crashes.to_string(),
-                c.traditional_crashes.to_string(),
-            ]);
+            points.push((a, w, label));
         }
+    }
+    let rows = par_map(points, |(a, w, label)| {
+        let c = insim_cell(&costs, a, w, ops, 2021);
+        assert_eq!(
+            c.durable_failed + c.traditional_failed,
+            0,
+            "ops lost despite retries at a={a} w={w}"
+        );
+        vec![
+            format!("{:.1}%", a * 100.0),
+            label.to_string(),
+            format!("{:.3}", c.in_sim_norm),
+            format!("{:.3}", c.analytic_norm),
+            format!("{:+.3}", c.in_sim_norm - c.analytic_norm),
+            c.durable_crashes.to_string(),
+            c.traditional_crashes.to_string(),
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     vec![t]
 }

@@ -12,7 +12,7 @@ use prdma_workloads::pagerank::{run_pagerank, PageRankConfig};
 use prdma_workloads::ycsb::{YcsbConfig, YcsbWorkload};
 
 use crate::report::{us, Table};
-use crate::runner::{micro_run, ycsb_run, ExpEnv, Scale};
+use crate::runner::{micro_run, par_map, ycsb_run, ExpEnv, Scale};
 
 /// Fig. 10: PageRank execution time per dataset per system.
 pub fn fig10(scale: Scale) -> Vec<Table> {
@@ -21,27 +21,36 @@ pub fn fig10(scale: Scale) -> Vec<Table> {
         format!("PageRank time (simulated s, {} iterations)", scale.pr_iters),
         &["system", "wordassociation-2011", "enron", "dblp-2010"],
     );
-    for kind in SystemKind::PAPER_EVAL {
-        if kind == SystemKind::Fasst {
-            continue; // 4 KB pages fit, but the paper omits FaSST here too
-        }
-        let mut cells = vec![kind.name().to_string()];
+    let kinds: Vec<SystemKind> = SystemKind::PAPER_EVAL
+        .into_iter()
+        // 4 KB pages fit, but the paper omits FaSST here too.
+        .filter(|&k| k != SystemKind::Fasst)
+        .collect();
+    let mut points = Vec::new();
+    for &kind in &kinds {
         for ds in GraphDataset::ALL {
-            let graph = generate(ds, 2021);
-            let mut sim = Sim::new(11);
-            let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(2));
-            let opts = SystemOpts::for_object_size(4096, ServerProfile::light());
-            let client = build_system(&cluster, kind, 1, 0, 0, &opts);
-            let cfg = PageRankConfig {
-                iterations: scale.pr_iters,
-                ..Default::default()
-            };
-            let h = sim.handle();
-            let r =
-                sim.block_on(async move { run_pagerank(client.as_ref(), &h, &graph, &cfg).await });
-            cells.push(format!("{:.3}", r.elapsed.as_secs_f64()));
+            points.push((kind, ds));
         }
-        t.row(cells);
+    }
+    let cells = par_map(points, |(kind, ds)| {
+        let graph = generate(ds, 2021);
+        let mut sim = Sim::new(11);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(2));
+        let opts = SystemOpts::for_object_size(4096, ServerProfile::light());
+        let client = build_system(&cluster, kind, 1, 0, 0, &opts);
+        let cfg = PageRankConfig {
+            iterations: scale.pr_iters,
+            ..Default::default()
+        };
+        let h = sim.handle();
+        let r = sim.block_on(async move { run_pagerank(client.as_ref(), &h, &graph, &cfg).await });
+        format!("{:.3}", r.elapsed.as_secs_f64())
+    });
+    let mut cells = cells.into_iter();
+    for &kind in &kinds {
+        let mut row = vec![kind.name().to_string()];
+        row.extend(cells.by_ref().take(GraphDataset::ALL.len()));
+        t.row(row);
     }
     vec![t]
 }
@@ -53,27 +62,37 @@ pub fn fig11(scale: Scale) -> Vec<Table> {
         "YCSB average latency (us), 4KB values, 50K records",
         &["system", "A", "B", "C", "D", "E", "F"],
     );
-    for kind in SystemKind::PAPER_EVAL {
-        if kind == SystemKind::Fasst {
-            continue; // 4 KB values + headers exceed the UD MTU
-        }
-        let mut cells = vec![kind.name().to_string()];
+    let kinds: Vec<SystemKind> = SystemKind::PAPER_EVAL
+        .into_iter()
+        // 4 KB values + headers exceed the UD MTU.
+        .filter(|&k| k != SystemKind::Fasst)
+        .collect();
+    let mut points = Vec::new();
+    for &kind in &kinds {
         for w in YcsbWorkload::ALL {
-            let env = ExpEnv::sized(4096, ServerProfile::light());
-            let cfg = YcsbConfig {
-                records: scale.objects,
-                ops: if w == YcsbWorkload::E {
-                    scale.ycsb_ops / 10 // scans touch ~50 objects each
-                } else {
-                    scale.ycsb_ops
-                },
-                workload: w,
-                ..Default::default()
-            };
-            let r = ycsb_run(kind, &env, cfg);
-            cells.push(us(r.run.latency.mean_us()));
+            points.push((kind, w));
         }
-        t.row(cells);
+    }
+    let cells = par_map(points, |(kind, w)| {
+        let env = ExpEnv::sized(4096, ServerProfile::light());
+        let cfg = YcsbConfig {
+            records: scale.objects,
+            ops: if w == YcsbWorkload::E {
+                scale.ycsb_ops / 10 // scans touch ~50 objects each
+            } else {
+                scale.ycsb_ops
+            },
+            workload: w,
+            ..Default::default()
+        };
+        let r = ycsb_run(kind, &env, cfg);
+        us(r.run.latency.mean_us())
+    });
+    let mut cells = cells.into_iter();
+    for &kind in &kinds {
+        let mut row = vec![kind.name().to_string()];
+        row.extend(cells.by_ref().take(YcsbWorkload::ALL.len()));
+        t.row(row);
     }
     vec![t]
 }
@@ -82,27 +101,31 @@ pub fn fig11(scale: Scale) -> Vec<Table> {
 /// to a traditional RPC (lower is better).
 pub fn fig12(scale: Scale) -> Vec<Table> {
     // Measure per-op costs with the full simulation: WFlush-RPC as the
-    // durable representative, FaRM as the traditional one.
-    let measure = |kind: SystemKind, read_ratio: f64| -> (SimDuration, SimDuration, f64) {
+    // durable representative, FaRM as the traditional one. The four
+    // calibration runs are independent sweep points.
+    let points = vec![
+        (SystemKind::WFlush, 1.0),
+        (SystemKind::WFlush, 0.0),
+        (SystemKind::Farm, 1.0),
+        (SystemKind::Farm, 0.0),
+    ];
+    let measured = par_map(points, |(kind, ratio)| {
         let env = ExpEnv::sized(4096, ServerProfile::light());
-        let mk = |ratio| MicroConfig {
+        let cfg = MicroConfig {
             objects: 1000,
             ops: 400,
             object_size: 4096,
             read_ratio: ratio,
             ..Default::default()
         };
-        let reads = micro_run(kind, &env, mk(1.0));
-        let writes = micro_run(kind, &env, mk(0.0));
-        let _ = read_ratio;
+        let r = micro_run(kind, &env, cfg);
         (
-            SimDuration::from_nanos(reads.run.latency.mean_ns as u64),
-            SimDuration::from_nanos(writes.run.latency.mean_ns as u64),
-            writes.server_media_us_per_op,
+            SimDuration::from_nanos(r.run.latency.mean_ns as u64),
+            r.server_media_us_per_op,
         )
-    };
-    let (d_read, d_write, d_media) = measure(SystemKind::WFlush, 0.5);
-    let (t_read, t_write, _) = measure(SystemKind::Farm, 0.5);
+    });
+    let (d_read, (d_write, d_media)) = (measured[0].0, measured[1]);
+    let (t_read, t_write) = (measured[2].0, measured[3].0);
 
     let durable_costs = MeasuredCosts {
         read: d_read,
@@ -179,7 +202,7 @@ pub fn fig20(scale: Scale) -> Vec<Table> {
         .into_iter()
         .chain([SystemKind::Herd, SystemKind::Lite])
         .collect();
-    for kind in all {
+    let rows = par_map(all, |kind| {
         let env = ExpEnv::sized(1024, ServerProfile::light());
         let cfg = YcsbConfig {
             records: scale.objects,
@@ -201,7 +224,10 @@ pub fn fig20(scale: Scale) -> Vec<Table> {
         cells.push(us(offpath_sw));
         cells.push(us(r.run.latency.mean_us()));
         cells.push(format!("{:.1}%", r.trace.software_share() * 100.0));
-        t.row(cells);
+        cells
+    });
+    for row in rows {
+        t.row(row);
     }
     vec![t]
 }

@@ -9,7 +9,7 @@ use prdma_simnet::Sim;
 use prdma_workloads::micro::MicroConfig;
 
 use crate::report::{kops_or_dash, us, us_or_dash, Table};
-use crate::runner::{micro_run, micro_run_concurrent, ExpEnv, Scale};
+use crate::runner::{micro_run, micro_run_concurrent, par_map, ExpEnv, Scale};
 
 fn size_label(bytes: u64) -> String {
     if bytes >= 1024 {
@@ -23,30 +23,44 @@ fn size_label(bytes: u64) -> String {
 /// light load, for 32 B / 1 KB / 64 KB objects.
 pub fn fig08(scale: Scale) -> Vec<Table> {
     let sizes = [32u64, 1024, 65536];
-    let mut tables = Vec::new();
-    for (load, profile) in [
+    let loads = [
         ("heavy", ServerProfile::heavy()),
         ("light", ServerProfile::light()),
-    ] {
+    ];
+    // One independent sweep point per (load, system, size), fanned across
+    // cores; cells come back in input order so the tables are identical
+    // to the serial run.
+    let mut points = Vec::new();
+    for (_, profile) in &loads {
+        for kind in SystemKind::PAPER_EVAL {
+            for &size in &sizes {
+                points.push((kind, size, profile.clone()));
+            }
+        }
+    }
+    let cells = par_map(points, |(kind, size, profile)| {
+        let env = ExpEnv::sized(size, profile);
+        let cfg = MicroConfig {
+            objects: scale.objects,
+            ops: scale.micro_ops,
+            object_size: size,
+            ..Default::default()
+        };
+        let r = micro_run(kind, &env, cfg);
+        kops_or_dash(r.run.ops, r.run.kops)
+    });
+    let mut cells = cells.into_iter();
+    let mut tables = Vec::new();
+    for (load, _) in &loads {
         let mut t = Table::new(
             format!("fig08_{load}"),
             format!("Throughput (KOPS), {load} load, 1:1 r/w, zipfian 0.99"),
             &["system", "32B", "1KB", "64KB"],
         );
         for kind in SystemKind::PAPER_EVAL {
-            let mut cells = vec![kind.name().to_string()];
-            for &size in &sizes {
-                let env = ExpEnv::sized(size, profile.clone());
-                let cfg = MicroConfig {
-                    objects: scale.objects,
-                    ops: scale.micro_ops,
-                    object_size: size,
-                    ..Default::default()
-                };
-                let r = micro_run(kind, &env, cfg);
-                cells.push(kops_or_dash(r.run.ops, r.run.kops));
-            }
-            t.row(cells);
+            let mut row = vec![kind.name().to_string()];
+            row.extend(cells.by_ref().take(sizes.len()));
+            t.row(row);
         }
         tables.push(t);
     }
@@ -56,31 +70,42 @@ pub fn fig08(scale: Scale) -> Vec<Table> {
 /// Fig. 9: latency distribution (p50/p95/p99/p99.9/avg) for 1 KB and
 /// 64 KB objects.
 pub fn fig09(scale: Scale) -> Vec<Table> {
+    let sizes = [1024u64, 65536];
+    let mut points = Vec::new();
+    for &size in &sizes {
+        for kind in SystemKind::PAPER_EVAL {
+            points.push((kind, size));
+        }
+    }
+    let rows = par_map(points, |(kind, size)| {
+        let env = ExpEnv::sized(size, ServerProfile::light());
+        let cfg = MicroConfig {
+            objects: scale.objects,
+            ops: scale.micro_ops,
+            object_size: size,
+            ..Default::default()
+        };
+        let r = micro_run(kind, &env, cfg);
+        let n = r.run.ops;
+        vec![
+            kind.name().into(),
+            us_or_dash(n, r.run.latency.p50_us()),
+            us_or_dash(n, r.run.latency.p95_us()),
+            us_or_dash(n, r.run.latency.p99_us()),
+            us_or_dash(n, r.run.latency.p999_us()),
+            us_or_dash(n, r.run.latency.mean_us()),
+        ]
+    });
+    let mut rows = rows.into_iter();
     let mut tables = Vec::new();
-    for size in [1024u64, 65536] {
+    for size in sizes {
         let mut t = Table::new(
             format!("fig09_{}", size_label(size)),
             format!("Latency (us), {} objects", size_label(size)),
             &["system", "p50", "p95", "p99", "p99.9", "avg"],
         );
-        for kind in SystemKind::PAPER_EVAL {
-            let env = ExpEnv::sized(size, ServerProfile::light());
-            let cfg = MicroConfig {
-                objects: scale.objects,
-                ops: scale.micro_ops,
-                object_size: size,
-                ..Default::default()
-            };
-            let r = micro_run(kind, &env, cfg);
-            let n = r.run.ops;
-            t.row(vec![
-                kind.name().into(),
-                us_or_dash(n, r.run.latency.p50_us()),
-                us_or_dash(n, r.run.latency.p95_us()),
-                us_or_dash(n, r.run.latency.p99_us()),
-                us_or_dash(n, r.run.latency.p999_us()),
-                us_or_dash(n, r.run.latency.mean_us()),
-            ]);
+        for _ in SystemKind::PAPER_EVAL {
+            t.row(rows.next().expect("row per sweep point"));
         }
         tables.push(t);
     }
@@ -95,20 +120,28 @@ pub fn fig13(scale: Scale) -> Vec<Table> {
         "Average latency (us) vs object size",
         &["system", "64B", "256B", "1KB", "4KB", "16KB"],
     );
+    let mut points = Vec::new();
     for kind in SystemKind::PAPER_EVAL {
-        let mut cells = vec![kind.name().to_string()];
         for &size in &sizes {
-            let env = ExpEnv::sized(size, ServerProfile::light());
-            let cfg = MicroConfig {
-                objects: scale.objects,
-                ops: scale.micro_ops / 2,
-                object_size: size,
-                ..Default::default()
-            };
-            let r = micro_run(kind, &env, cfg);
-            cells.push(us_or_dash(r.run.ops, r.run.latency.mean_us()));
+            points.push((kind, size));
         }
-        t.row(cells);
+    }
+    let cells = par_map(points, |(kind, size)| {
+        let env = ExpEnv::sized(size, ServerProfile::light());
+        let cfg = MicroConfig {
+            objects: scale.objects,
+            ops: scale.micro_ops / 2,
+            object_size: size,
+            ..Default::default()
+        };
+        let r = micro_run(kind, &env, cfg);
+        us_or_dash(r.run.ops, r.run.latency.mean_us())
+    });
+    let mut cells = cells.into_iter();
+    for kind in SystemKind::PAPER_EVAL {
+        let mut row = vec![kind.name().to_string()];
+        row.extend(cells.by_ref().take(sizes.len()));
+        t.row(row);
     }
     vec![t]
 }
@@ -125,34 +158,46 @@ pub fn fig14_15_16(scale: Scale) -> Vec<Table> {
         }
         env
     };
-    let mut tables = Vec::new();
-    for (fig, which) in [
+    let figs = [
         ("fig14_network_load", "network"),
         ("fig15_receiver_cpu", "receiver_cpu"),
         ("fig16_sender_cpu", "sender_cpu"),
-    ] {
+    ];
+    let kinds: Vec<SystemKind> = SystemKind::PAPER_EVAL
+        .into_iter()
+        // 64 KB objects exceed the UD MTU (as in paper).
+        .filter(|&k| k != SystemKind::Fasst)
+        .collect();
+    let mut points = Vec::new();
+    for (_, which) in figs {
+        for &kind in &kinds {
+            for busy in [false, true] {
+                points.push((which, kind, busy));
+            }
+        }
+    }
+    let cells = par_map(points, |(which, kind, busy)| {
+        let cfg = MicroConfig {
+            objects: scale.objects,
+            ops: scale.micro_ops / 4,
+            object_size: 65536,
+            ..Default::default()
+        };
+        let r = micro_run(kind, &mk_env(which, busy), cfg);
+        us(r.run.latency.mean_us())
+    });
+    let mut cells = cells.into_iter();
+    let mut tables = Vec::new();
+    for (fig, which) in figs {
         let mut t = Table::new(
             fig,
             format!("Average latency (us): idle vs busy {which}"),
             &["system", "idle", "busy"],
         );
-        for kind in SystemKind::PAPER_EVAL {
-            if kind == SystemKind::Fasst {
-                continue; // 64 KB objects exceed the UD MTU (as in paper)
-            }
-            let cfg = MicroConfig {
-                objects: scale.objects,
-                ops: scale.micro_ops / 4,
-                object_size: 65536,
-                ..Default::default()
-            };
-            let idle = micro_run(kind, &mk_env(which, false), cfg.clone());
-            let busy = micro_run(kind, &mk_env(which, true), cfg);
-            t.row(vec![
-                kind.name().into(),
-                us(idle.run.latency.mean_us()),
-                us(busy.run.latency.mean_us()),
-            ]);
+        for &kind in &kinds {
+            let mut row = vec![kind.name().to_string()];
+            row.extend(cells.by_ref().take(2));
+            t.row(row);
         }
         tables.push(t);
     }
@@ -172,20 +217,28 @@ pub fn fig17(scale: Scale) -> Vec<Table> {
         "Average latency (us) vs concurrent senders (1KB objects)",
         &["system", "10", "20", "30", "40", "50"],
     );
+    let mut points = Vec::new();
     for kind in SystemKind::PAPER_EVAL {
-        let mut cells = vec![kind.name().to_string()];
         for &n in &sender_counts {
-            let env = ExpEnv::sized(1024, ServerProfile::light());
-            let cfg = MicroConfig {
-                objects: scale.objects,
-                ops: scale.concurrent_ops,
-                object_size: 1024,
-                ..Default::default()
-            };
-            let r = micro_run_concurrent(kind, &env, cfg, n);
-            cells.push(us(r.latency.mean_us()));
+            points.push((kind, n));
         }
-        t.row(cells);
+    }
+    let cells = par_map(points, |(kind, n)| {
+        let env = ExpEnv::sized(1024, ServerProfile::light());
+        let cfg = MicroConfig {
+            objects: scale.objects,
+            ops: scale.concurrent_ops,
+            object_size: 1024,
+            ..Default::default()
+        };
+        let r = micro_run_concurrent(kind, &env, cfg, n);
+        us(r.latency.mean_us())
+    });
+    let mut cells = cells.into_iter();
+    for kind in SystemKind::PAPER_EVAL {
+        let mut row = vec![kind.name().to_string()];
+        row.extend(cells.by_ref().take(sender_counts.len()));
+        t.row(row);
     }
     vec![t]
 }
@@ -198,24 +251,33 @@ pub fn fig18(scale: Scale) -> Vec<Table> {
         "Average latency (us) vs read/write ratio",
         &["system", "5%r+95%w", "50%r+50%w", "95%r+5%w"],
     );
-    for kind in SystemKind::PAPER_EVAL {
-        if kind == SystemKind::Fasst {
-            continue;
-        }
-        let mut cells = vec![kind.name().to_string()];
+    let kinds: Vec<SystemKind> = SystemKind::PAPER_EVAL
+        .into_iter()
+        .filter(|&k| k != SystemKind::Fasst)
+        .collect();
+    let mut points = Vec::new();
+    for &kind in &kinds {
         for &(ratio, _) in &mixes {
-            let env = ExpEnv::sized(65536, ServerProfile::light());
-            let cfg = MicroConfig {
-                objects: scale.objects,
-                ops: scale.micro_ops / 4,
-                object_size: 65536,
-                read_ratio: ratio,
-                ..Default::default()
-            };
-            let r = micro_run(kind, &env, cfg);
-            cells.push(us(r.run.latency.mean_us()));
+            points.push((kind, ratio));
         }
-        t.row(cells);
+    }
+    let cells = par_map(points, |(kind, ratio)| {
+        let env = ExpEnv::sized(65536, ServerProfile::light());
+        let cfg = MicroConfig {
+            objects: scale.objects,
+            ops: scale.micro_ops / 4,
+            object_size: 65536,
+            read_ratio: ratio,
+            ..Default::default()
+        };
+        let r = micro_run(kind, &env, cfg);
+        us(r.run.latency.mean_us())
+    });
+    let mut cells = cells.into_iter();
+    for &kind in &kinds {
+        let mut row = vec![kind.name().to_string()];
+        row.extend(cells.by_ref().take(mixes.len()));
+        t.row(row);
     }
     vec![t]
 }
@@ -237,38 +299,46 @@ pub fn fig19(scale: Scale) -> Vec<Table> {
         format!("Total time (ms, simulated) for {ops} batched 1KB puts"),
         &["system", "batch=1", "batch=4", "batch=8"],
     );
+    let mut points = Vec::new();
     for kind in systems {
-        let mut cells = vec![kind.name().to_string()];
         for &k in &batch_sizes {
-            let env = ExpEnv::sized(1024, ServerProfile::light());
-            let mut sim = Sim::new(env.seed);
-            let cluster = {
-                // Reuse runner plumbing by rebuilding inline.
-                let mut ccfg = prdma_node::ClusterConfig::with_nodes(2);
-                ccfg.rnic.ddio = false;
-                prdma_node::Cluster::new(sim.handle(), ccfg)
-            };
-            let opts = prdma_baselines::SystemOpts::for_object_size(1024, env.profile.clone());
-            let client = build_system(&cluster, kind, 1, 0, 0, &opts);
-            let h = sim.handle();
-            let elapsed = sim.block_on(async move {
-                let t0 = h.now();
-                let mut i = 0u64;
-                while i < ops {
-                    let batch: Vec<Request> = (0..k as u64)
-                        .map(|j| Request::Put {
-                            obj: (i + j) % 1000,
-                            data: Payload::synthetic(1024, i + j),
-                        })
-                        .collect();
-                    client.call_batch(batch).await.unwrap();
-                    i += k as u64;
-                }
-                h.now() - t0
-            });
-            cells.push(format!("{:.2}", elapsed.as_secs_f64() * 1e3));
+            points.push((kind, k));
         }
-        t.row(cells);
+    }
+    let cells = par_map(points, |(kind, k)| {
+        let env = ExpEnv::sized(1024, ServerProfile::light());
+        let mut sim = Sim::new(env.seed);
+        let cluster = {
+            // Reuse runner plumbing by rebuilding inline.
+            let mut ccfg = prdma_node::ClusterConfig::with_nodes(2);
+            ccfg.rnic.ddio = false;
+            prdma_node::Cluster::new(sim.handle(), ccfg)
+        };
+        let opts = prdma_baselines::SystemOpts::for_object_size(1024, env.profile.clone());
+        let client = build_system(&cluster, kind, 1, 0, 0, &opts);
+        let h = sim.handle();
+        let elapsed = sim.block_on(async move {
+            let t0 = h.now();
+            let mut i = 0u64;
+            while i < ops {
+                let batch: Vec<Request> = (0..k as u64)
+                    .map(|j| Request::Put {
+                        obj: (i + j) % 1000,
+                        data: Payload::synthetic(1024, i + j),
+                    })
+                    .collect();
+                client.call_batch(batch).await.unwrap();
+                i += k as u64;
+            }
+            h.now() - t0
+        });
+        format!("{:.2}", elapsed.as_secs_f64() * 1e3)
+    });
+    let mut cells = cells.into_iter();
+    for kind in systems {
+        let mut row = vec![kind.name().to_string()];
+        row.extend(cells.by_ref().take(batch_sizes.len()));
+        t.row(row);
     }
     vec![t]
 }

@@ -11,7 +11,7 @@ use prdma_simnet::{Sim, SimDuration};
 use prdma_workloads::micro::MicroConfig;
 
 use crate::report::{us, us_or_dash, Table};
-use crate::runner::{micro_run, micro_run_concurrent, ExpEnv, Scale};
+use crate::runner::{micro_run, micro_run_concurrent, par_map, ExpEnv, Scale};
 
 fn classify(ratio: f64, low: f64, high: f64) -> &'static str {
     if ratio < low {
@@ -52,7 +52,7 @@ pub fn table2(scale: Scale) -> Vec<Table> {
             "sw_share",
         ],
     );
-    for kind in systems {
+    let rows = par_map(systems.to_vec(), |kind| {
         let cfg = MicroConfig {
             objects: scale.objects,
             ops: scale.micro_ops / 8,
@@ -86,7 +86,7 @@ pub fn table2(scale: Scale) -> Vec<Table> {
         let l10 = micro_run_concurrent(kind, &env, ccfg.clone(), 10);
         let l50 = micro_run_concurrent(kind, &env, ccfg, 50);
         let scal = l50.latency.mean_ns / l10.latency.mean_ns.max(1.0);
-        t.row(vec![
+        vec![
             kind.name().into(),
             format!("{net_ratio:.2} ({})", classify(net_ratio, 1.3, 2.0)),
             format!("{recv_cpu:.2} ({})", classify(recv_cpu, 1.0, 3.0)),
@@ -96,7 +96,10 @@ pub fn table2(scale: Scale) -> Vec<Table> {
             format!("{tail:.2} ({})", classify(tail, 1.5, 3.0)),
             format!("{scal:.2} ({})", if scal < 1.5 { "Good" } else { "Medium" }),
             format!("{:.1}%", sw_share * 100.0),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     vec![t]
 }
@@ -109,28 +112,34 @@ pub fn abl_flush_impl(scale: Scale) -> Vec<Table> {
         "Durable put latency (us): emulated vs native RNIC flush",
         &["kind", "emulated", "native", "speedup"],
     );
-    for kind in [
+    let kinds = [
         SystemKind::SRFlush,
         SystemKind::SFlush,
         SystemKind::WRFlush,
         SystemKind::WFlush,
-    ] {
-        let run = |imp: FlushImpl| {
-            let env = ExpEnv {
-                flush_impl: imp,
-                ..ExpEnv::sized(1024, ServerProfile::light())
-            };
-            let cfg = MicroConfig {
-                objects: scale.objects.min(5_000),
-                ops: scale.micro_ops / 8,
-                object_size: 1024,
-                read_ratio: 0.0,
-                ..Default::default()
-            };
-            micro_run(kind, &env, cfg).run.latency.mean_us()
+    ];
+    let mut points = Vec::new();
+    for kind in kinds {
+        for imp in [FlushImpl::Emulated, FlushImpl::HardwareNative] {
+            points.push((kind, imp));
+        }
+    }
+    let means = par_map(points, |(kind, imp)| {
+        let env = ExpEnv {
+            flush_impl: imp,
+            ..ExpEnv::sized(1024, ServerProfile::light())
         };
-        let emulated = run(FlushImpl::Emulated);
-        let native = run(FlushImpl::HardwareNative);
+        let cfg = MicroConfig {
+            objects: scale.objects.min(5_000),
+            ops: scale.micro_ops / 8,
+            object_size: 1024,
+            read_ratio: 0.0,
+            ..Default::default()
+        };
+        micro_run(kind, &env, cfg).run.latency.mean_us()
+    });
+    for (i, kind) in kinds.into_iter().enumerate() {
+        let (emulated, native) = (means[2 * i], means[2 * i + 1]);
         t.row(vec![
             kind.name().into(),
             us(emulated),
@@ -152,54 +161,61 @@ pub fn abl_ddio(_scale: Scale) -> Vec<Table> {
         "DDIO vs persistence: put latency and violations (20 inline puts)",
         &["kind", "ddio", "latency_us", "violations"],
     );
+    let mut points = Vec::new();
     for kind in [DurableKind::WFlush, DurableKind::WRFlush] {
         for ddio in [false, true] {
-            let mut sim = Sim::new(33);
-            let mut ccfg = ClusterConfig::with_nodes(2);
-            ccfg.rnic.ddio = ddio;
-            let cluster = Cluster::new(sim.handle(), ccfg);
-            let cfg = DurableConfig {
-                kind,
-                slot_payload: 1024,
-                object_slot: 1024,
-                store_capacity: 1 << 20,
-                ..Default::default()
-            };
-            let (client, server) = build_durable(&cluster, 1, 0, 0, cfg);
-            server.start();
-            let log = server.log().clone();
-            let pm = cluster.node(0).pm.clone();
-            let h = sim.handle();
-            let (mean_us, violations) = sim.block_on(async move {
-                let mut total = SimDuration::ZERO;
-                let mut violations = 0u64;
-                for i in 0..20u64 {
-                    let t0 = h.now();
-                    client
-                        .call(Request::Put {
-                            obj: i,
-                            data: Payload::from_bytes(vec![i as u8 + 1; 512]),
-                        })
-                        .await
-                        .unwrap();
-                    total += h.now() - t0;
-                    // The client believes the data durable NOW. Read the
-                    // persistence domain: would these bytes survive a
-                    // power failure at this instant?
-                    let data_addr = log.layout().slot_addr(i) + prdma::log::ENTRY_HEADER;
-                    if pm.read_persistent_view(data_addr, 512) != vec![i as u8 + 1; 512] {
-                        violations += 1;
-                    }
-                }
-                (total.as_micros_f64() / 20.0, violations)
-            });
-            t.row(vec![
-                kind.name().into(),
-                ddio.to_string(),
-                us(mean_us),
-                violations.to_string(),
-            ]);
+            points.push((kind, ddio));
         }
+    }
+    let rows = par_map(points, |(kind, ddio)| {
+        let mut sim = Sim::new(33);
+        let mut ccfg = ClusterConfig::with_nodes(2);
+        ccfg.rnic.ddio = ddio;
+        let cluster = Cluster::new(sim.handle(), ccfg);
+        let cfg = DurableConfig {
+            kind,
+            slot_payload: 1024,
+            object_slot: 1024,
+            store_capacity: 1 << 20,
+            ..Default::default()
+        };
+        let (client, server) = build_durable(&cluster, 1, 0, 0, cfg);
+        server.start();
+        let log = server.log().clone();
+        let pm = cluster.node(0).pm.clone();
+        let h = sim.handle();
+        let (mean_us, violations) = sim.block_on(async move {
+            let mut total = SimDuration::ZERO;
+            let mut violations = 0u64;
+            for i in 0..20u64 {
+                let t0 = h.now();
+                client
+                    .call(Request::Put {
+                        obj: i,
+                        data: Payload::from_bytes(vec![i as u8 + 1; 512]),
+                    })
+                    .await
+                    .unwrap();
+                total += h.now() - t0;
+                // The client believes the data durable NOW. Read the
+                // persistence domain: would these bytes survive a
+                // power failure at this instant?
+                let data_addr = log.layout().slot_addr(i) + prdma::log::ENTRY_HEADER;
+                if pm.read_persistent_view(data_addr, 512) != vec![i as u8 + 1; 512] {
+                    violations += 1;
+                }
+            }
+            (total.as_micros_f64() / 20.0, violations)
+        });
+        vec![
+            kind.name().into(),
+            ddio.to_string(),
+            us(mean_us),
+            violations.to_string(),
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     vec![t]
 }
@@ -291,13 +307,19 @@ pub fn case_fig7a(scale: Scale) -> Vec<Table> {
         (mean, durable)
     };
 
-    for (label, mode) in [
-        ("write only (WC != durable)", "plain"),
-        ("write + WFlush", "wflush"),
-        ("write + server-CPU persist RPC", "cpu"),
-    ] {
-        let (mean, durable) = measure(mode);
-        t.row(vec![label.into(), us(mean), durable.to_string()]);
+    let rows = par_map(
+        vec![
+            ("write only (WC != durable)", "plain"),
+            ("write + WFlush", "wflush"),
+            ("write + server-CPU persist RPC", "cpu"),
+        ],
+        |(label, mode)| {
+            let (mean, durable) = measure(mode);
+            vec![label.into(), us(mean), durable.to_string()]
+        },
+    );
+    for row in rows {
+        t.row(row);
     }
     vec![t]
 }
@@ -310,7 +332,7 @@ pub fn abl_replication(scale: Scale) -> Vec<Table> {
         "Replicated durable put latency (us) vs replica count (WFlush, 1KB)",
         &["replicas", "avg_put_us", "p99_put_us"],
     );
-    for n in [1usize, 2, 3, 4] {
+    let rows = par_map(vec![1usize, 2, 3, 4], |n| {
         let mut sim = Sim::new(55);
         let cluster =
             prdma_node::Cluster::new(sim.handle(), prdma_node::ClusterConfig::with_nodes(n + 1));
@@ -340,11 +362,10 @@ pub fn abl_replication(scale: Scale) -> Vec<Table> {
             }
             hist.summary()
         });
-        t.row(vec![
-            n.to_string(),
-            us(summary.mean_us()),
-            us(summary.p99_us()),
-        ]);
+        vec![n.to_string(), us(summary.mean_us()), us(summary.p99_us())]
+    });
+    for row in rows {
+        t.row(row);
     }
     vec![t]
 }
@@ -356,7 +377,7 @@ pub fn abl_log_threshold(scale: Scale) -> Vec<Table> {
         "WFlush-RPC heavy-load throughput (KOPS) vs flow-control threshold",
         &["threshold", "kops"],
     );
-    for threshold in [8u64, 32, 128, 512] {
+    let rows = par_map(vec![8u64, 32, 128, 512], |threshold| {
         let mut sim = Sim::new(44);
         let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(2));
         let cfg = DurableConfig {
@@ -387,7 +408,10 @@ pub fn abl_log_threshold(scale: Scale) -> Vec<Table> {
             h.now() - t0
         });
         let kops = ops as f64 / elapsed.as_secs_f64() / 1e3;
-        t.row(vec![threshold.to_string(), format!("{kops:.2}")]);
+        vec![threshold.to_string(), format!("{kops:.2}")]
+    });
+    for row in rows {
+        t.row(row);
     }
     vec![t]
 }

@@ -26,7 +26,13 @@
 //! | `fig20_breakdown` | Fig. 20 (sender SW / RTT / receiver SW) |
 //! | `table2_summary` | Table 2 (qualitative summary, measured) |
 //! | `ablations` | DESIGN.md ablations (flush impl, DDIO, threshold) |
-//! | `sim_core` | criterion microbenches of the simulator itself |
+//! | `sim_core` | microbenches of the simulator itself + `BENCH_simcore.json` |
+//!
+//! Independent sweep points run in parallel across cores (results are
+//! collected in input order, so every table, CSV, and journal artifact
+//! is byte-identical to a serial run). `PRDMA_PAR=<n>` caps the worker
+//! count; `PRDMA_PAR=1` restores the serial runner, and journaled runs
+//! (`--journal` / `PRDMA_JOURNAL=1`) are always serial.
 
 #![warn(missing_docs)]
 
@@ -36,7 +42,8 @@ pub mod runner;
 
 pub use report::Table;
 pub use runner::{
-    journal_enabled, micro_run, micro_run_concurrent, ycsb_run, EnvResult, ExpEnv, Scale,
+    journal_enabled, micro_run, micro_run_concurrent, par_level, par_map, ycsb_run, EnvResult,
+    ExpEnv, Scale,
 };
 
 /// Emit (print + CSV) a set of tables.

@@ -57,6 +57,74 @@ pub(crate) fn export_and_audit(cluster: &Cluster, tag: &str) {
     report.assert_ok();
 }
 
+/// Sweep-level parallelism for this bench process: `PRDMA_PAR=<n>`
+/// (`1` restores the serial runner), defaulting to
+/// `available_parallelism`. Forced to 1 while journal capture is on —
+/// journaled runs print per-point audit lines and export files whose
+/// interleaving must stay deterministic.
+pub fn par_level() -> usize {
+    if journal_enabled() {
+        return 1;
+    }
+    match std::env::var("PRDMA_PAR") {
+        Ok(v) => v.trim().parse().ok().filter(|&n| n >= 1).unwrap_or(1),
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Run `f` over every sweep point in `items` across up to [`par_level`]
+/// worker threads, returning results **in input order** — callers build
+/// tables/CSV rows from the returned `Vec` exactly as the serial loop
+/// did, so all printed and written artifacts are byte-identical to
+/// `PRDMA_PAR=1`. Each point constructs its own seeded single-threaded
+/// [`Sim`], so points share no state and any interleaving of their
+/// execution yields the same per-point results.
+///
+/// A panic in any point propagates to the caller after the other
+/// workers finish their current point.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let workers = par_level().min(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..slots.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(slot) = slots.get(i) else { break };
+                let item = slot
+                    .lock()
+                    .expect("sweep item poisoned")
+                    .take()
+                    .expect("sweep item claimed twice");
+                let r = f(item);
+                *results[i].lock().expect("sweep result poisoned") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("sweep result poisoned")
+                .expect("sweep point missing result")
+        })
+        .collect()
+}
+
 /// Environment knobs an experiment can toggle.
 #[derive(Debug, Clone)]
 pub struct ExpEnv {

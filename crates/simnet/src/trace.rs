@@ -290,13 +290,7 @@ impl Tracer {
             hists: hists.clone(),
             onpath_ns: std::array::from_fn(|i| self.inner.onpath_ns[i].get()),
             offpath_ns: std::array::from_fn(|i| self.inner.offpath_ns[i].get()),
-            counters: self
-                .inner
-                .counters
-                .borrow()
-                .iter()
-                .map(|(&k, &v)| (k.to_string(), v))
-                .collect(),
+            counters: self.inner.counters.borrow().clone(),
         }
     }
 
@@ -387,7 +381,9 @@ pub struct TraceReport {
     hists: [Histogram; PHASES],
     onpath_ns: [u64; PHASES],
     offpath_ns: [u64; PHASES],
-    counters: BTreeMap<String, u64>,
+    /// Counter names are the interned `&'static str`s from [`counters`],
+    /// so snapshotting and merging reports never clones a key.
+    counters: BTreeMap<&'static str, u64>,
 }
 
 impl Default for TraceReport {
@@ -414,8 +410,8 @@ impl TraceReport {
             self.onpath_ns[i] += other.onpath_ns[i];
             self.offpath_ns[i] += other.offpath_ns[i];
         }
-        for (k, v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
+        for (&k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
         }
     }
 
@@ -440,8 +436,8 @@ impl TraceReport {
     }
 
     /// All counters, sorted by name.
-    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
     }
 
     /// Sum of the exclusive phases' critical-path totals — the breakdown

@@ -186,7 +186,7 @@ pub async fn run_micro_merged(
     use std::rc::Rc;
     let hist: Rc<RefCell<Histogram>> = Rc::default();
     let t0 = h.now();
-    let mut joins = Vec::new();
+    let mut joins = Vec::with_capacity(clients.len());
     for (i, client) in clients.into_iter().enumerate() {
         let cfg = MicroConfig {
             seed: cfg.seed.wrapping_add(i as u64 * 7919),

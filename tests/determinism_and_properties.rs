@@ -255,3 +255,84 @@ fn payload_composite_invariants() {
         }
     }
 }
+
+/// FNV-1a 64-bit, matching `examples/fingerprint.rs`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Pinned whole-stack fingerprints: event counts, virtual elapsed time,
+/// and journal bytes for representative journaled runs, captured before
+/// the executor hot-path rewrite (timer slab + unsynchronized ready
+/// queue). Any schedule-visible regression in the executor, network,
+/// or protocol layers trips this test.
+///
+/// Regenerate the constants with `cargo run --release --example
+/// fingerprint` *only* when a deliberate, understood semantic change
+/// lands (note it in DESIGN.md). One such change is already folded in:
+/// the rewrite fixed cancelled `Sleep`s leaving stale wakers behind, so
+/// runs long enough to hit `timeout()` re-arms see slightly fewer
+/// events than the pre-rewrite executor; the constants below are the
+/// post-fix values, byte-identical journals included.
+#[test]
+fn pinned_whole_stack_fingerprints() {
+    // (kind, events_processed, elapsed_ns, journal_len, journal_fnv)
+    let pinned: [(SystemKind, u64, u64, usize, u64); 4] = [
+        (
+            SystemKind::WFlush,
+            8862,
+            1184203,
+            572713,
+            0xf86138680d0f2650,
+        ),
+        (
+            SystemKind::SRFlush,
+            9626,
+            1293452,
+            632523,
+            0x74f7631c382ea47e,
+        ),
+        (SystemKind::Farm, 7064, 1154355, 511207, 0xb2c4287d19861bd4),
+        (SystemKind::Darpc, 9164, 2528207, 634468, 0xefdc75cf25b766c8),
+    ];
+    for (kind, events, elapsed_ns, len, fnv) in pinned {
+        let seed = 20211114;
+        let mut sim = Sim::new(seed);
+        let mut ccfg = ClusterConfig::with_nodes(2);
+        ccfg.journal = true;
+        let cluster = Cluster::new(sim.handle(), ccfg);
+        let opts = SystemOpts::for_object_size(1024, ServerProfile::light());
+        let client = build_system(&cluster, kind, 1, 0, 0, &opts);
+        let cfg = MicroConfig {
+            objects: 500,
+            ops: 300,
+            object_size: 1024,
+            seed,
+            ..Default::default()
+        };
+        let h = sim.handle();
+        let r = sim.block_on(async move { run_micro(client.as_ref(), &h, &cfg).await });
+        let jsonl = journal::to_jsonl(&cluster.journal_records());
+        assert_eq!(
+            sim.events_processed(),
+            events,
+            "{kind:?}: events_processed drifted from pinned fingerprint"
+        );
+        assert_eq!(
+            r.elapsed.as_nanos(),
+            elapsed_ns,
+            "{kind:?}: virtual elapsed time drifted from pinned fingerprint"
+        );
+        assert_eq!(jsonl.len(), len, "{kind:?}: journal export length drifted");
+        assert_eq!(
+            fnv1a(jsonl.as_bytes()),
+            fnv,
+            "{kind:?}: journal export bytes drifted (FNV-1a mismatch)"
+        );
+    }
+}

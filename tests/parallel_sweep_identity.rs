@@ -1,0 +1,64 @@
+//! The parallel sweep runner must be invisible in the results: every
+//! table a fig module produces under `PRDMA_PAR>1` must be
+//! byte-identical to the serial (`PRDMA_PAR=1`) run, because sweep
+//! points are independent simulations collected back in input order.
+//!
+//! This test mutates `PRDMA_PAR`, so it lives alone in its own
+//! integration-test binary (its own process) — no other test can race
+//! the environment.
+
+use prdma_bench::{exp, par_level, par_map, Scale, Table};
+
+fn render(tables: &[Table]) -> String {
+    // Stringify exactly what `emit()` would persist: headers + rows as
+    // CSV lines, per table.
+    let mut out = String::new();
+    for t in tables {
+        out.push_str(&t.id);
+        out.push('\n');
+        out.push_str(&t.headers.join(","));
+        out.push('\n');
+        for row in &t.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn parallel_sweep_output_is_byte_identical_to_serial() {
+    std::env::set_var("PRDMA_PAR", "1");
+    assert_eq!(par_level(), 1, "PRDMA_PAR=1 must force the serial runner");
+    let serial = render(&exp::fig08(Scale::smoke()));
+
+    std::env::set_var("PRDMA_PAR", "4");
+    assert_eq!(par_level(), 4, "PRDMA_PAR=4 must be honored");
+    let parallel = render(&exp::fig08(Scale::smoke()));
+
+    assert!(!serial.is_empty(), "fig08 produced no rows at smoke scale");
+    assert_eq!(
+        serial, parallel,
+        "parallel sweep results differ from serial run"
+    );
+
+    // The primitive itself preserves input order regardless of worker
+    // interleaving: a deliberately skewed workload (later items finish
+    // first) must still come back in submission order.
+    let n = 64u64;
+    let items: Vec<u64> = (0..n).collect();
+    let mapped = par_map(items, |i| {
+        // Busy work inversely proportional to index: item 0 is slowest.
+        let mut acc = i;
+        for _ in 0..(n - i) * 2000 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        (i, acc)
+    });
+    let order: Vec<u64> = mapped.iter().map(|(i, _)| *i).collect();
+    assert_eq!(
+        order,
+        (0..n).collect::<Vec<u64>>(),
+        "par_map reordered results"
+    );
+}
