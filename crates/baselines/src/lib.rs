@@ -34,7 +34,7 @@ pub use fasst::{build_fasst, FasstClient};
 pub use herd::{build_herd, HerdClient};
 pub use l5::{build_l5, L5Client};
 pub use octopus::{build_lite, build_octopus, OctopusClient};
-pub use registry::{build_system, SystemKind, SystemOpts};
+pub use registry::{build_sharded_system, build_system, SystemKind, SystemOpts};
 pub use rfp::{build_rfp, RfpClient};
 pub use scalerpc::{build_scalerpc, ScaleRpcClient};
 

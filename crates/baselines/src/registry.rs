@@ -1,7 +1,10 @@
 //! Uniform construction of every RPC system (the four durable RPCs plus
 //! the nine baselines), so experiment harnesses can sweep them.
 
-use prdma::{build_durable, DurableConfig, DurableKind, FlushImpl, RpcClient, ServerProfile};
+use prdma::{
+    build_durable, DurableConfig, DurableKind, FlushImpl, RpcClient, ServerProfile, ShardMap,
+    ShardedClient,
+};
 use prdma_node::Cluster;
 use prdma_simnet::trace::Role;
 use prdma_simnet::SimDuration;
@@ -215,4 +218,28 @@ pub fn build_system(
         SystemKind::Lite => Box::new(build_lite(cluster, client_idx, server_idx, lane, p, os, sc)),
         _ => unreachable!("durable kinds handled above"),
     }
+}
+
+/// Build a shard-aware client for `kind`: one endpoint per shard (shard
+/// `s` is served by node `s`; the cluster must have `map.shards()` server
+/// nodes) behind client-side routing. Works uniformly for the durable
+/// RPCs and every baseline, so scale-out sweeps compare like for like.
+pub fn build_sharded_system(
+    cluster: &Cluster,
+    kind: SystemKind,
+    map: ShardMap,
+    client_idx: usize,
+    lane: usize,
+    opts: &SystemOpts,
+) -> ShardedClient {
+    assert!(
+        cluster.servers() >= map.shards(),
+        "cluster has {} server nodes, need {}",
+        cluster.servers(),
+        map.shards()
+    );
+    let shards = (0..map.shards())
+        .map(|s| build_system(cluster, kind, client_idx, s, lane, opts))
+        .collect();
+    ShardedClient::new(map, shards)
 }

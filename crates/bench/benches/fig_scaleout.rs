@@ -1,0 +1,8 @@
+//! Scale-out sweep (beyond the paper): throughput and p99 vs. 1/2/4/8 shards. Run: cargo bench --bench fig_scaleout
+//! Sweep points run in parallel (`PRDMA_PAR=<n>` caps workers, `1` = serial; output is byte-identical either way).
+use prdma_bench::{emit_all, exp, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit_all(exp::fig_scaleout(scale));
+}

@@ -24,6 +24,7 @@
 //! | `fig18_access_pattern` | Fig. 18 (r/w mixes) |
 //! | `fig19_batching` | Fig. 19 (batch sizes 1/4/8) |
 //! | `fig20_breakdown` | Fig. 20 (sender SW / RTT / receiver SW) |
+//! | `fig_scaleout` | beyond the paper: throughput/p99 vs. 1–8 shards |
 //! | `table2_summary` | Table 2 (qualitative summary, measured) |
 //! | `ablations` | DESIGN.md ablations (flush impl, DDIO, threshold) |
 //! | `sim_core` | microbenches of the simulator itself + `BENCH_simcore.json` |
@@ -42,8 +43,8 @@ pub mod runner;
 
 pub use report::Table;
 pub use runner::{
-    journal_enabled, micro_run, micro_run_concurrent, par_level, par_map, ycsb_run, EnvResult,
-    ExpEnv, Scale,
+    journal_enabled, micro_run, micro_run_concurrent, par_level, par_map, scaleout_run, ycsb_run,
+    EnvResult, ExpEnv, Scale,
 };
 
 /// Emit (print + CSV) a set of tables.

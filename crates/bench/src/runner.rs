@@ -2,13 +2,15 @@
 //! environment knobs, run a workload, and collect results plus resource
 //! accounting for the breakdown figures.
 
-use prdma::{FlushImpl, ServerProfile};
-use prdma_baselines::{build_system, SystemKind, SystemOpts};
+use prdma::{FlushImpl, ServerProfile, ShardMap};
+use prdma_baselines::{build_sharded_system, build_system, SystemKind, SystemOpts};
 use prdma_node::{Cluster, ClusterConfig};
 use prdma_simnet::journal;
 use prdma_simnet::trace::TraceReport;
 use prdma_simnet::{Sim, SimDuration, SimTime};
-use prdma_workloads::micro::{run_micro, run_micro_merged, MicroConfig, RunResult};
+use prdma_workloads::micro::{
+    run_micro, run_micro_fleet, run_micro_merged, MicroConfig, RunResult,
+};
 use prdma_workloads::ycsb::{run_ycsb, YcsbConfig};
 
 use crate::report::output_dir;
@@ -296,6 +298,51 @@ pub fn micro_run_concurrent(
     let h = sim.handle();
     let run = sim.block_on(async move { run_micro_merged(clients, &h, &cfg).await });
     export_and_audit(&cluster, &format!("conc{}_{}", senders, kind.name()));
+    run
+}
+
+/// Run the micro-benchmark against a *sharded* service: `shards` server
+/// nodes (one shard each, own PM/redo-log), `clients` client nodes each
+/// driving one closed-loop generator through shard-aware routing. The
+/// offered load is fixed by the client fleet, so sweeping `shards` at
+/// constant `clients` measures scale-out. Per-shard store regions are
+/// sized to the shard's share of the id space, so content-bearing
+/// configs never wrap (see `ObjectStore` aliasing rules).
+pub fn scaleout_run(
+    kind: SystemKind,
+    shards: usize,
+    clients: usize,
+    profile: ServerProfile,
+    cfg: MicroConfig,
+    seed: u64,
+) -> RunResult {
+    let mut sim = Sim::new(seed);
+    let mut ccfg = ClusterConfig::with_servers(shards, clients);
+    ccfg.journal = journal_enabled();
+    let cluster = Cluster::new(sim.handle(), ccfg);
+    let map = ShardMap::new(shards);
+    let slot = cfg.object_size.max(64);
+    let opts = SystemOpts {
+        profile,
+        object_slot: slot,
+        store_capacity: map.local_span(cfg.objects) * slot,
+        ..Default::default()
+    };
+    let fleet: Vec<Box<dyn prdma::RpcClient>> = (0..clients)
+        .map(|c| {
+            Box::new(build_sharded_system(
+                &cluster,
+                kind,
+                map,
+                shards + c,
+                c,
+                &opts,
+            )) as Box<dyn prdma::RpcClient>
+        })
+        .collect();
+    let h = sim.handle();
+    let run = sim.block_on(async move { run_micro_fleet(fleet, &h, &cfg).await });
+    export_and_audit(&cluster, &format!("scaleout{}_{}", shards, kind.name()));
     run
 }
 

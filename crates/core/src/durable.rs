@@ -254,7 +254,14 @@ pub fn build_durable(
     let cursor = LogCursor::new();
     let log = RedoLog::new(server.pm.clone(), layout, cursor.clone());
     log.set_head_persist_interval(cfg.head_persist_interval);
-    log.set_journal_lane(lane as u64);
+    // Journal id namespace: a log's identity is (server, lane), not lane
+    // alone — two shards each serving the same client reuse lane numbers,
+    // and the auditor's recovery invariant must never conflate their
+    // appends. Server 0 keeps the bare lane, so single-server journals
+    // are unchanged byte for byte.
+    let journal_lane = ((server_idx as u64) << 12) | lane as u64;
+    assert!(lane < 1 << 12, "lane exceeds the journal id namespace");
+    log.set_journal_lane(journal_lane);
 
     let (log_qp_client, log_qp_server) = cluster.connect(client_idx, server_idx, QpMode::Rc);
     let (get_qp_client, get_qp_server) = cluster.connect(client_idx, server_idx, QpMode::Rc);
@@ -269,7 +276,7 @@ pub fn build_durable(
         cfg.throttle_threshold,
         cfg.throttle_backoff,
     );
-    writer.set_journal_lane(lane as u64);
+    writer.set_journal_lane(journal_lane);
 
     let (work_tx, work_rx) = channel();
     let (arrival_tx, arrival_rx) = channel();

@@ -52,6 +52,7 @@ pub mod log;
 pub mod recovery;
 pub mod replication;
 pub mod rpc;
+pub mod shard;
 pub mod store;
 
 pub use durable::{build_durable, DurableClient, DurableConfig, DurableKind, DurableServer};
@@ -66,4 +67,5 @@ pub use rpc::{
     Request, Response, RetryPolicy, RpcBatchFuture, RpcClient, RpcError, RpcFuture, RpcResult,
     ServerProfile,
 };
+pub use shard::{build_sharded_durable, ShardMap, ShardPolicy, ShardedClient, ShardedDurable};
 pub use store::ObjectStore;

@@ -1,0 +1,464 @@
+//! Sharded KV routing: a shard map over object ids plus a client-side
+//! router that spreads one logical KV service across several server
+//! nodes, each with its own CPU, PM, RNIC, and redo log.
+//!
+//! The paper's durable RPCs are the substrate for partitioned services
+//! (its YCSB/Octopus evaluations); this module supplies the partitioning.
+//! Every shard is an independent failure domain: a crash of one shard's
+//! server stalls only the requests routed there — the other shards' logs,
+//! stores, and connections never see it.
+//!
+//! Routing translates a *global* object id into `(shard, local id)`.
+//! Local ids must stay dense per shard so each shard's
+//! [`ObjectStore`](crate::store::ObjectStore) region can be sized to its
+//! share of the keyspace and never wraps (see the aliasing guard in
+//! `store.rs`).
+
+use std::rc::Rc;
+
+use crate::durable::{build_durable, DurableClient, DurableConfig, DurableServer};
+use crate::rpc::{Request, Response, RpcBatchFuture, RpcClient, RpcFuture, RpcResult};
+use prdma_node::Cluster;
+
+/// How global object ids map onto shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// `shard = id % shards`, `local = id / shards`. Consecutive ids
+    /// round-robin across shards — zipfian-hot key prefixes spread out,
+    /// scans decompose into one dense run per shard, and local ids stay
+    /// packed in `[0, ids/shards]`, so per-shard regions never wrap.
+    Striped,
+    /// `shard = mix64(id) % shards`, `local = id`. A fixed hash ring
+    /// (what consistent hashing degenerates to with a static shard
+    /// count). Placement is oblivious to id structure, but local ids
+    /// span the whole global id space — per-shard stores must be sized
+    /// for it, or rely on the aliasing guard to catch wraps.
+    Hashed,
+}
+
+/// A static map from global object ids to `(shard, local id)`.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardMap {
+    shards: usize,
+    policy: ShardPolicy,
+}
+
+/// SplitMix64 finalizer: a well-mixed 64-bit permutation.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+impl ShardMap {
+    /// A striped map over `shards` shards (the default policy).
+    pub fn new(shards: usize) -> Self {
+        ShardMap::with_policy(shards, ShardPolicy::Striped)
+    }
+
+    /// A map with an explicit policy.
+    pub fn with_policy(shards: usize, policy: ShardPolicy) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ShardMap { shards, policy }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard serving global id `obj`.
+    pub fn shard_of(&self, obj: u64) -> usize {
+        match self.policy {
+            ShardPolicy::Striped => (obj % self.shards as u64) as usize,
+            ShardPolicy::Hashed => (mix64(obj) % self.shards as u64) as usize,
+        }
+    }
+
+    /// Route global id `obj` to `(shard, local id)`.
+    pub fn route(&self, obj: u64) -> (usize, u64) {
+        match self.policy {
+            ShardPolicy::Striped => (
+                (obj % self.shards as u64) as usize,
+                obj / self.shards as u64,
+            ),
+            ShardPolicy::Hashed => ((mix64(obj) % self.shards as u64) as usize, obj),
+        }
+    }
+
+    /// Local ids needed per shard to hold `objects` global ids without
+    /// slot reuse (region sizing for benches: objects × slot bytes per
+    /// shard under striping; the full id space under hashing).
+    pub fn local_span(&self, objects: u64) -> u64 {
+        match self.policy {
+            ShardPolicy::Striped => objects.div_ceil(self.shards as u64).max(1),
+            ShardPolicy::Hashed => objects.max(1),
+        }
+    }
+
+    /// Decompose the global scan `[start, start + count)` into per-shard
+    /// runs of consecutive *local* ids, in global id order: each element
+    /// is `(shard, local start, run length)`. Striped maps yield at most
+    /// one run per shard; hashed maps yield one run per shard transition.
+    pub fn split_scan(&self, start: u64, count: u32) -> Vec<(usize, u64, u32)> {
+        let mut runs: Vec<(usize, u64, u32)> = Vec::new();
+        for g in start..start.saturating_add(count as u64) {
+            let (shard, local) = self.route(g);
+            match runs.last_mut() {
+                Some((s, l, n)) if *s == shard && *l + *n as u64 == local => *n += 1,
+                _ => runs.push((shard, local, 1)),
+            }
+        }
+        // Coalesce non-adjacent repeats of the same shard's dense run
+        // (striping visits shards cyclically: shard s appears once per
+        // cycle, with consecutive locals).
+        let mut merged: Vec<(usize, u64, u32)> = Vec::new();
+        for (shard, local, n) in runs {
+            match merged.iter_mut().find(|(s, ..)| *s == shard) {
+                Some((_, l, m)) if *l + *m as u64 == local => *m += n,
+                Some(_) => merged.push((shard, local, n)),
+                None => merged.push((shard, local, n)),
+            }
+        }
+        merged
+    }
+}
+
+/// A client endpoint that routes each request to the owning shard's
+/// underlying [`RpcClient`]. Implements [`RpcClient`] itself, so every
+/// workload driver (micro, YCSB, PageRank) runs sharded unchanged.
+pub struct ShardedClient {
+    map: ShardMap,
+    shards: Vec<Box<dyn RpcClient>>,
+}
+
+impl ShardedClient {
+    /// Wrap one client per shard (index = shard id) under `map`.
+    pub fn new(map: ShardMap, shards: Vec<Box<dyn RpcClient>>) -> Self {
+        assert_eq!(map.shards(), shards.len(), "one client endpoint per shard");
+        ShardedClient { map, shards }
+    }
+
+    /// The shard map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    async fn dispatch(&self, req: Request) -> RpcResult<Response> {
+        match req {
+            Request::Put { obj, data } => {
+                let (shard, local) = self.map.route(obj);
+                self.shards[shard]
+                    .call(Request::Put { obj: local, data })
+                    .await
+            }
+            Request::Get { obj, len } => {
+                let (shard, local) = self.map.route(obj);
+                self.shards[shard]
+                    .call(Request::Get { obj: local, len })
+                    .await
+            }
+            Request::Scan { start, count, len } => {
+                // Fan the range across the owning shards; the closed-loop
+                // client walks the runs in global order and aggregates.
+                let mut total = 0u64;
+                let mut durable = true;
+                for (shard, local, n) in self.map.split_scan(start, count) {
+                    let r = self.shards[shard]
+                        .call(Request::Scan {
+                            start: local,
+                            count: n,
+                            len,
+                        })
+                        .await?;
+                    total += r.payload.as_ref().map_or(0, |p| p.len());
+                    durable &= r.durable;
+                }
+                Ok(Response {
+                    payload: Some(prdma_rnic::Payload::synthetic(total, start)),
+                    durable,
+                })
+            }
+        }
+    }
+}
+
+impl RpcClient for ShardedClient {
+    fn call(&self, req: Request) -> RpcFuture<'_> {
+        Box::pin(self.dispatch(req))
+    }
+
+    fn call_batch(&self, reqs: Vec<Request>) -> RpcBatchFuture<'_> {
+        Box::pin(async move {
+            // Partition the batch by owning shard (preserving each
+            // shard's sub-order) so per-shard doorbell batching and
+            // coalesced flushes still apply, then restore request order.
+            let mut per_shard: Vec<Vec<(usize, Request)>> =
+                (0..self.map.shards()).map(|_| Vec::new()).collect();
+            for (pos, req) in reqs.into_iter().enumerate() {
+                let routed = match req {
+                    Request::Put { obj, data } => {
+                        let (shard, local) = self.map.route(obj);
+                        (shard, Request::Put { obj: local, data })
+                    }
+                    Request::Get { obj, len } => {
+                        let (shard, local) = self.map.route(obj);
+                        (shard, Request::Get { obj: local, len })
+                    }
+                    // Scans split across shards; route through `call`.
+                    scan @ Request::Scan { .. } => {
+                        let shard = self.map.shard_of(match scan {
+                            Request::Scan { start, .. } => start,
+                            _ => unreachable!(),
+                        });
+                        (shard, scan)
+                    }
+                };
+                per_shard[routed.0].push((pos, routed.1));
+            }
+            let mut out: Vec<Option<Response>> = (0..per_shard.iter().map(Vec::len).sum())
+                .map(|_| None)
+                .collect();
+            for (shard, items) in per_shard.into_iter().enumerate() {
+                if items.is_empty() {
+                    continue;
+                }
+                let (positions, sub): (Vec<usize>, Vec<Request>) = items.into_iter().unzip();
+                let resps = if sub.iter().any(|r| matches!(r, Request::Scan { .. })) {
+                    // Mixed batches with scans take the per-call path.
+                    let mut rs = Vec::with_capacity(sub.len());
+                    for r in sub {
+                        rs.push(self.dispatch(r).await?);
+                    }
+                    rs
+                } else {
+                    self.shards[shard].call_batch(sub).await?
+                };
+                for (pos, resp) in positions.into_iter().zip(resps) {
+                    out[pos] = Some(resp);
+                }
+            }
+            Ok(out
+                .into_iter()
+                .map(|r| r.expect("every batched request answered"))
+                .collect())
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        self.shards[0].name()
+    }
+}
+
+/// One client's view of a sharded durable KV service, plus the per-shard
+/// server endpoints needed for recovery wiring.
+pub struct ShardedDurable {
+    /// One sharded router per client node, in `client_nodes` order.
+    pub clients: Vec<ShardedClient>,
+    /// `servers[shard][client]`: the server endpoint of the connection
+    /// between `client_nodes[client]` and shard `shard` (each connection
+    /// owns its per-connection redo log on the shard's PM, as in the
+    /// paper; the object store is shared per shard).
+    pub servers: Vec<Vec<Rc<DurableServer>>>,
+}
+
+impl ShardedDurable {
+    /// Recover shard `shard` after a node crash: replay every
+    /// per-connection log on that server (and only that server). Returns
+    /// the number of entries re-enqueued across the shard's logs.
+    pub fn recover_shard(&self, shard: usize) -> usize {
+        self.servers[shard]
+            .iter()
+            .map(|s| s.recover_and_requeue().len())
+            .sum()
+    }
+
+    /// Service-restart recovery for shard `shard` (cursors intact).
+    pub fn recover_shard_service(&self, shard: usize) -> usize {
+        self.servers[shard]
+            .iter()
+            .map(|s| s.recover_service_and_requeue())
+            .sum()
+    }
+}
+
+/// Build a sharded durable KV service: shards live on server nodes
+/// `0..shards` (the cluster must have at least that many servers), and
+/// every node in `client_nodes` gets one connection — with its own
+/// per-connection redo log — to every shard. Per-shard object-store
+/// regions are sized from `cfg.store_capacity` as configured by the
+/// caller (size it to `map.local_span(objects) * object_slot` so slots
+/// never wrap). All server loops are started.
+pub fn build_sharded_durable(
+    cluster: &Cluster,
+    map: ShardMap,
+    client_nodes: &[usize],
+    cfg: &DurableConfig,
+) -> ShardedDurable {
+    let shards = map.shards();
+    assert!(
+        cluster.servers() >= shards,
+        "cluster has {} server nodes, need {shards}",
+        cluster.servers()
+    );
+    let mut servers: Vec<Vec<Rc<DurableServer>>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut clients = Vec::with_capacity(client_nodes.len());
+    for (lane, &client_idx) in client_nodes.iter().enumerate() {
+        let mut per_shard: Vec<Box<dyn RpcClient>> = Vec::with_capacity(shards);
+        for (shard, shard_servers) in servers.iter_mut().enumerate() {
+            let (c, s): (DurableClient, DurableServer) =
+                build_durable(cluster, client_idx, shard, lane, cfg.clone());
+            s.start();
+            shard_servers.push(Rc::new(s));
+            per_shard.push(Box::new(c));
+        }
+        clients.push(ShardedClient::new(map, per_shard));
+    }
+    ShardedDurable { clients, servers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rpc::ServerProfile;
+    use prdma_node::ClusterConfig;
+    use prdma_rnic::Payload;
+    use prdma_simnet::Sim;
+
+    #[test]
+    fn striped_map_routes_densely() {
+        let m = ShardMap::new(4);
+        for g in 0..64u64 {
+            let (s, l) = m.route(g);
+            assert_eq!(s, (g % 4) as usize);
+            assert_eq!(l, g / 4);
+            assert_eq!(m.shard_of(g), s);
+        }
+        assert_eq!(m.local_span(50_000), 12_500);
+    }
+
+    #[test]
+    fn hashed_map_is_balanced_and_stable() {
+        let m = ShardMap::with_policy(8, ShardPolicy::Hashed);
+        let mut counts = [0u64; 8];
+        for g in 0..8_000u64 {
+            let (s, l) = m.route(g);
+            assert_eq!(l, g, "hashed policy keeps the global id");
+            assert_eq!(m.route(g).0, s, "routing is deterministic");
+            counts[s] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..=1300).contains(&c),
+                "shard {s} got {c} of 8000 ids — unbalanced hash"
+            );
+        }
+    }
+
+    #[test]
+    fn split_scan_covers_the_range_exactly() {
+        for policy in [ShardPolicy::Striped, ShardPolicy::Hashed] {
+            let m = ShardMap::with_policy(3, policy);
+            let runs = m.split_scan(10, 17);
+            let total: u32 = runs.iter().map(|(_, _, n)| n).sum();
+            assert_eq!(total, 17, "{policy:?}");
+            // Every global id in the range appears in exactly one run.
+            for g in 10..27u64 {
+                let (shard, local) = m.route(g);
+                let hits = runs
+                    .iter()
+                    .filter(|(s, l, n)| *s == shard && (*l..*l + *n as u64).contains(&local))
+                    .count();
+                assert_eq!(hits, 1, "{policy:?} id {g}");
+            }
+        }
+        // Striping coalesces to one dense run per shard.
+        let m = ShardMap::new(4);
+        assert_eq!(m.split_scan(0, 16).len(), 4);
+    }
+
+    fn sharded_fixture(sim: &Sim, shards: usize, clients: usize) -> ShardedDurable {
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::with_servers(shards, clients));
+        let cfg = DurableConfig {
+            profile: ServerProfile::light(),
+            slot_payload: 1024,
+            object_slot: 1024,
+            store_capacity: 1 << 20,
+            log_slots: 64,
+            ..Default::default()
+        };
+        let client_nodes: Vec<usize> = (shards..shards + clients).collect();
+        build_sharded_durable(&cluster, ShardMap::new(shards), &client_nodes, &cfg)
+    }
+
+    #[test]
+    fn sharded_put_get_roundtrip_spans_shards() {
+        let mut sim = Sim::new(17);
+        let svc = sharded_fixture(&sim, 3, 1);
+        let client = svc.clients.into_iter().next().unwrap();
+        let servers = svc.servers;
+        sim.block_on(async move {
+            for obj in 0..9u64 {
+                let data = Payload::from_bytes(vec![0x40 + obj as u8; 64]);
+                let r = client.call(Request::Put { obj, data }).await.unwrap();
+                assert!(r.durable);
+            }
+            for obj in 0..9u64 {
+                let r = client.call(Request::Get { obj, len: 64 }).await.unwrap();
+                assert_eq!(r.payload.unwrap().len(), 64, "obj {obj}");
+            }
+        });
+        sim.run();
+        // Striping spread 9 objects as 3 per shard, applied to each
+        // shard's own store under *local* ids 0..3.
+        for (shard, per_client) in servers.iter().enumerate() {
+            let server = &per_client[0];
+            assert_eq!(server.puts_processed(), 3, "shard {shard}");
+            for local in 0..3u64 {
+                let global = local * 3 + shard as u64;
+                assert_eq!(
+                    server.store().persistent_bytes(local, 64),
+                    vec![0x40 + global as u8; 64],
+                    "shard {shard} local {local}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_scan_aggregates_across_shards() {
+        let mut sim = Sim::new(19);
+        let svc = sharded_fixture(&sim, 2, 1);
+        let client = svc.clients.into_iter().next().unwrap();
+        let got = sim.block_on(async move {
+            client
+                .call(Request::Scan {
+                    start: 0,
+                    count: 8,
+                    len: 100,
+                })
+                .await
+                .unwrap()
+        });
+        assert_eq!(got.payload.unwrap().len(), 800);
+    }
+
+    #[test]
+    fn sharded_batch_preserves_request_order() {
+        let mut sim = Sim::new(23);
+        let svc = sharded_fixture(&sim, 2, 1);
+        let client = svc.clients.into_iter().next().unwrap();
+        sim.block_on(async move {
+            let reqs: Vec<Request> = (0..6u64)
+                .map(|i| Request::Put {
+                    obj: i,
+                    data: Payload::synthetic(256, i),
+                })
+                .collect();
+            let resps = client.call_batch(reqs).await.unwrap();
+            assert_eq!(resps.len(), 6);
+            assert!(resps.iter().all(|r| r.durable));
+        });
+    }
+}

@@ -2,8 +2,12 @@
 //! memory" the paper's RPCs ultimately serve (KV pairs, graph chunks,
 //! file blocks).
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
 use prdma_pmem::{PmDevice, PmRegion};
-use prdma_rnic::{Payload, RdmaResult};
+use prdma_rnic::{Payload, RdmaError, RdmaResult};
 
 /// Objects stored in equal-sized PM slots.
 ///
@@ -11,12 +15,21 @@ use prdma_rnic::{Payload, RdmaResult};
 /// (benchmarks use up to 50 K × 64 KB = 3.2 GB of *simulated* objects),
 /// slots wrap modulo the region: timing stays exact while host memory stays
 /// bounded. Content correctness tests use object counts that fit.
+///
+/// Wrapping is safe only while payloads are timing-only. Content-bearing
+/// (inline) puts track which live object owns each slot they touch; an
+/// inline put landing on a slot that wrapped onto a *different* live object
+/// fails with [`RdmaError::SlotAliased`] instead of silently corrupting it.
+/// The owner map is shared across clones of the store, so every connection
+/// serving the same region sees the same ownership.
 #[derive(Clone)]
 pub struct ObjectStore {
     pm: PmDevice,
     region: PmRegion,
     slot_size: u64,
     slots_in_region: u64,
+    /// slot index → global id of the live object whose content it holds.
+    owners: Rc<RefCell<HashMap<u64, u64>>>,
 }
 
 impl ObjectStore {
@@ -28,7 +41,14 @@ impl ObjectStore {
             region,
             slots_in_region: region.len / slot_size,
             slot_size,
+            owners: Rc::new(RefCell::new(HashMap::new())),
         }
+    }
+
+    /// Object slots the region holds before ids wrap; size regions to
+    /// `objects * slot_size` to keep content-bearing workloads below this.
+    pub fn slots_in_region(&self) -> u64 {
+        self.slots_in_region
     }
 
     /// Object slot size in bytes.
@@ -43,11 +63,18 @@ impl ObjectStore {
 
     /// Durably store `data` into `obj_id`'s slot (CPU-side apply path:
     /// media write time; content placed when the payload is inline).
+    ///
+    /// Fails with [`RdmaError::SlotAliased`] when `data` carries real
+    /// content and `obj_id`'s slot wrapped onto a different live object.
     pub async fn put(&self, obj_id: u64, data: &Payload) -> RdmaResult<()> {
+        let parts = data.inline_parts();
+        if !parts.is_empty() {
+            self.claim_slot(obj_id)?;
+        }
         let len = data.len().min(self.slot_size);
         self.pm.simulate_write_time(len).await;
         let base = self.addr(obj_id);
-        for (off, bytes) in data.inline_parts() {
+        for (off, bytes) in parts {
             if off < self.slot_size {
                 let n = bytes.len().min((self.slot_size - off) as usize);
                 self.pm.commit_persistent(base + off, &bytes[..n])?;
@@ -68,6 +95,24 @@ impl ObjectStore {
         let len = len.min(self.slot_size);
         let bytes = self.pm.read(self.addr(obj_id), len).await?;
         Ok(bytes)
+    }
+
+    /// Record `obj_id` as the live content owner of its slot, rejecting
+    /// the claim when a different live object already occupies it.
+    fn claim_slot(&self, obj_id: u64) -> RdmaResult<()> {
+        let slot = obj_id % self.slots_in_region;
+        let mut owners = self.owners.borrow_mut();
+        match owners.get(&slot) {
+            // Two distinct ids can share a slot only by wrapping.
+            Some(&occupant) if occupant != obj_id => Err(RdmaError::SlotAliased {
+                obj: obj_id,
+                occupant,
+            }),
+            _ => {
+                owners.insert(slot, obj_id);
+                Ok(())
+            }
+        }
     }
 
     /// What `obj_id` holds in the persistence domain right now (zero-time;
@@ -132,6 +177,37 @@ mod tests {
             s.put(1_000_000, &Payload::synthetic(512, 9)).await.unwrap();
         });
         assert_eq!(store.addr(1_000_000), store.addr(1_000_000 % 64));
+    }
+
+    #[test]
+    fn inline_put_on_wrapped_slot_with_live_occupant_fails() {
+        let mut sim = Sim::new(1);
+        let store = store_fixture(&sim); // 64 slots
+        let s = store.clone();
+        sim.block_on(async move {
+            s.put(3, &Payload::from_bytes(vec![0xAA; 16]))
+                .await
+                .unwrap();
+            // Object 67 wraps onto object 3's slot: rejected, not corrupted.
+            let err = s
+                .put(67, &Payload::from_bytes(vec![0xBB; 16]))
+                .await
+                .unwrap_err();
+            assert_eq!(
+                err,
+                prdma_rnic::RdmaError::SlotAliased {
+                    obj: 67,
+                    occupant: 3
+                }
+            );
+            assert_eq!(s.persistent_bytes(3, 16), vec![0xAA; 16]);
+            // Re-writing the live owner itself is fine.
+            s.put(3, &Payload::from_bytes(vec![0xCC; 16]))
+                .await
+                .unwrap();
+            // Timing-only payloads still wrap freely (no content at risk).
+            s.put(131, &Payload::synthetic(512, 131)).await.unwrap();
+        });
     }
 
     #[test]

@@ -14,8 +14,13 @@ use crate::cpu::{CpuConfig, CpuModel};
 /// Configuration for a whole cluster.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
-    /// Number of nodes (node 0 is conventionally the server).
+    /// Number of nodes (nodes `0..servers` are servers, the rest clients).
     pub nodes: usize,
+    /// How many of the first nodes are *servers* — each with a
+    /// full-capacity PM device for its own redo logs and object store.
+    /// A sharded service uses one server node per shard; everything
+    /// single-server keeps the historical `servers: 1` (node 0).
+    pub servers: usize,
     /// RNIC/fabric parameters shared by all nodes.
     pub rnic: RnicConfig,
     /// PM device parameters per node.
@@ -24,9 +29,9 @@ pub struct ClusterConfig {
     pub cpu: CpuConfig,
     /// DRAM capacity per node in bytes.
     pub dram_capacity: u64,
-    /// PM capacity for client nodes (node index > 0). Clients only need a
-    /// scratch region; keeping this small lets experiments with dozens of
-    /// senders stay light on host memory.
+    /// PM capacity for client nodes (node index >= `servers`). Clients
+    /// only need a scratch region; keeping this small lets experiments
+    /// with dozens of senders stay light on host memory.
     pub client_pm_capacity: u64,
     /// Attach a per-node event [`Journal`] to every component. Off by
     /// default: with no journal attached, the hot path allocates nothing
@@ -38,6 +43,7 @@ impl Default for ClusterConfig {
     fn default() -> Self {
         ClusterConfig {
             nodes: 2,
+            servers: 1,
             rnic: RnicConfig::default(),
             pm: PmConfig::default(),
             cpu: CpuConfig::default(),
@@ -49,10 +55,21 @@ impl Default for ClusterConfig {
 }
 
 impl ClusterConfig {
-    /// A cluster of `nodes` nodes with default hardware.
+    /// A cluster of `nodes` nodes with default hardware (node 0 is the
+    /// single server).
     pub fn with_nodes(nodes: usize) -> Self {
         ClusterConfig {
             nodes,
+            ..Default::default()
+        }
+    }
+
+    /// A sharded cluster: `servers` server nodes (indices `0..servers`)
+    /// plus `clients` client nodes, default hardware.
+    pub fn with_servers(servers: usize, clients: usize) -> Self {
+        ClusterConfig {
+            nodes: servers + clients,
+            servers,
             ..Default::default()
         }
     }
@@ -157,15 +174,17 @@ pub struct Cluster {
     handle: SimHandle,
     fabric: Fabric,
     nodes: Vec<Node>,
+    servers: usize,
 }
 
 impl Cluster {
     /// Build a cluster per `cfg`.
     pub fn new(handle: SimHandle, cfg: ClusterConfig) -> Self {
         let fabric = Fabric::new(handle.clone(), cfg.rnic.clone());
+        let servers = cfg.servers.max(1);
         let mut nodes = Vec::with_capacity(cfg.nodes);
         for i in 0..cfg.nodes {
-            let pm_cfg = if i == 0 {
+            let pm_cfg = if i < servers {
                 cfg.pm.clone()
             } else {
                 PmConfig {
@@ -210,6 +229,7 @@ impl Cluster {
             handle,
             fabric,
             nodes,
+            servers,
         }
     }
 
@@ -231,6 +251,12 @@ impl Cluster {
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of server nodes (indices `0..servers()`); the rest are
+    /// clients.
+    pub fn servers(&self) -> usize {
+        self.servers
     }
 
     /// True if the cluster has no nodes.
@@ -296,6 +322,23 @@ mod tests {
             assert!(tok.wait().await);
         });
         assert_eq!(server_pm.read_persistent_view(0, 32), vec![7; 32]);
+    }
+
+    #[test]
+    fn multi_server_cluster_gives_each_server_full_pm() {
+        let sim = Sim::new(1);
+        let cfg = ClusterConfig::with_servers(4, 3);
+        let full = cfg.pm.capacity;
+        let scratch = cfg.client_pm_capacity;
+        let cluster = Cluster::new(sim.handle(), cfg);
+        assert_eq!(cluster.servers(), 4);
+        assert_eq!(cluster.len(), 7);
+        for i in 0..4 {
+            assert_eq!(cluster.node(i).pm.capacity(), full, "server {i}");
+        }
+        for i in 4..7 {
+            assert_eq!(cluster.node(i).pm.capacity(), scratch, "client {i}");
+        }
     }
 
     #[test]

@@ -36,6 +36,15 @@ pub enum RdmaError {
     },
     /// Underlying PM device error.
     Pm(prdma_pmem::PmError),
+    /// A content-bearing store landed on a slot that wrapped modulo the
+    /// region and still holds a *different* live object — the write would
+    /// silently corrupt it. Timing-only payloads never trip this.
+    SlotAliased {
+        /// Object id whose write was rejected.
+        obj: u64,
+        /// Live object currently occupying the slot.
+        occupant: u64,
+    },
 }
 
 impl std::fmt::Display for RdmaError {
@@ -46,6 +55,12 @@ impl std::fmt::Display for RdmaError {
                 write!(f, "payload {len} exceeds UD MTU {mtu}")
             }
             RdmaError::Pm(e) => write!(f, "PM error: {e}"),
+            RdmaError::SlotAliased { obj, occupant } => {
+                write!(
+                    f,
+                    "object {obj} wraps onto the slot holding live object {occupant}"
+                )
+            }
         }
     }
 }

@@ -335,6 +335,40 @@ mod tests {
     }
 
     #[test]
+    fn merged_shard_histograms_match_global_union() {
+        // Multi-shard aggregation path: per-shard histograms merged after
+        // a sweep must report the same percentiles (and count/mean/min/max)
+        // as one global histogram fed the union of samples. Holds exactly
+        // because merge() sums per-bucket counts — the merged state is
+        // structurally identical to recording every sample into one
+        // histogram, whatever the shard interleaving.
+        let shards = 4;
+        let mut per_shard: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        let mut global = Histogram::new();
+        let mut x = 42u64;
+        for i in 0..40_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            // Skewed latency-like values spanning several octaves.
+            let v = 800 + (x % 1_000_000) / (1 + x % 97);
+            per_shard[(i % shards as u64) as usize].record(v);
+            global.record(v);
+        }
+        let mut merged = Histogram::new();
+        for h in &per_shard {
+            merged.merge(h);
+        }
+        assert_eq!(merged.count(), global.count());
+        assert_eq!(merged.mean(), global.mean());
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            assert_eq!(
+                merged.percentile(q),
+                global.percentile(q),
+                "merged per-shard percentile diverges from global at q={q}"
+            );
+        }
+    }
+
+    #[test]
     fn percentile_monotone_in_q() {
         let mut h = Histogram::new();
         let mut x = 7u64;

@@ -68,6 +68,18 @@ impl KvIndex {
         self.map.is_empty()
     }
 
+    /// How the index's live object ids spread over `shards` shards under
+    /// `route` (e.g. `|obj| map.shard_of(obj)`): element `s` counts the
+    /// objects shard `s` serves. Sizing input for per-shard store regions
+    /// — a shard's region must hold its spread, not the global id count.
+    pub fn shard_spread(&self, shards: usize, route: impl Fn(u64) -> usize) -> Vec<usize> {
+        let mut counts = vec![0usize; shards];
+        for &obj in self.map.values() {
+            counts[route(obj)] += 1;
+        }
+        counts
+    }
+
     /// The `count` smallest keys ≥ `start`, in order (a scan's key set —
     /// YCSB E resolves ranges client-side before fetching).
     pub fn scan_keys(&self, start: Key, count: usize) -> Vec<(Key, u64)> {
@@ -126,6 +138,16 @@ mod tests {
         let hits = idx.scan_keys(3, 3);
         let keys: Vec<u64> = hits.iter().map(|(k, _)| *k).collect();
         assert_eq!(keys, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn preloaded_index_spreads_evenly_under_striping() {
+        let idx = KvIndex::preload(1000);
+        let map = prdma::ShardMap::new(4);
+        let spread = idx.shard_spread(4, |obj| map.shard_of(obj));
+        assert_eq!(spread, vec![250; 4]);
+        // And each shard's local span bounds its region sizing.
+        assert_eq!(map.local_span(1000), 250);
     }
 
     #[test]

@@ -240,6 +240,74 @@ pub async fn run_micro_merged(
     RunResult::from_histogram(ops, unsupported, failed, h.now() - t0, &hist)
 }
 
+/// Closed-loop multi-client generator: every client runs the micro loop
+/// independently (distinct seed, think-time-free), each recording into its
+/// *own* histogram; the per-client histograms are then merged with
+/// [`Histogram::merge`]. This is the aggregation the scale-out sweep uses
+/// per shard, and `merge` is exact — summed per-bucket counts are
+/// structurally identical to recording the union — so percentiles match
+/// the shared-histogram path of [`run_micro_merged`] bit for bit.
+pub async fn run_micro_fleet(
+    clients: Vec<Box<dyn RpcClient>>,
+    h: &SimHandle,
+    cfg: &MicroConfig,
+) -> RunResult {
+    let t0 = h.now();
+    let mut joins = Vec::with_capacity(clients.len());
+    for (i, client) in clients.into_iter().enumerate() {
+        let cfg = MicroConfig {
+            seed: cfg.seed.wrapping_add(i as u64 * 7919),
+            ..cfg.clone()
+        };
+        let h2 = h.clone();
+        joins.push(h.spawn(async move {
+            let mut rng = workload_rng(cfg.seed);
+            let dist = KeyDist::zipfian(cfg.objects);
+            let mut hist = Histogram::new();
+            let mut done = 0u64;
+            let mut unsupported = 0u64;
+            let mut failed = 0u64;
+            for i in 0..cfg.ops {
+                let obj = dist.sample(&mut rng);
+                let is_read = rng.gen::<f64>() < cfg.read_ratio;
+                let req = if is_read {
+                    Request::Get {
+                        obj,
+                        len: cfg.object_size,
+                    }
+                } else {
+                    Request::Put {
+                        obj,
+                        data: Payload::synthetic(cfg.object_size, i),
+                    }
+                };
+                let start = h2.now();
+                match client.call(req).await {
+                    Ok(_) => {
+                        hist.record_duration(h2.now() - start);
+                        done += 1;
+                    }
+                    Err(prdma::RpcError::Unsupported(_)) => unsupported += 1,
+                    Err(_) => failed += 1,
+                }
+            }
+            (done, unsupported, failed, hist)
+        }));
+    }
+    let mut merged = Histogram::new();
+    let mut ops = 0;
+    let mut unsupported = 0;
+    let mut failed = 0;
+    for j in joins {
+        let (o, u, f, hist) = j.await;
+        ops += o;
+        unsupported += u;
+        failed += f;
+        merged.merge(&hist);
+    }
+    RunResult::from_histogram(ops, unsupported, failed, h.now() - t0, &merged)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,5 +370,60 @@ mod tests {
         };
         let r = sim.block_on(async move { run_micro_merged(clients, &h, &cfg).await });
         assert_eq!(r.ops, 150);
+    }
+
+    #[test]
+    fn fleet_merge_matches_shared_histogram_exactly() {
+        // Same cluster, same seeds: per-client histograms merged after the
+        // fact must agree with the single shared histogram on every
+        // reported percentile (the multi-shard aggregation invariant).
+        let run = |merged: bool| {
+            let mut sim = Sim::new(6);
+            let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(4));
+            let opts = SystemOpts::for_object_size(1024, ServerProfile::light());
+            let clients: Vec<Box<dyn prdma::RpcClient>> = (1..4)
+                .map(|i| build_system(&cluster, SystemKind::WFlush, i, 0, i, &opts))
+                .collect();
+            let h = sim.handle();
+            let cfg = MicroConfig {
+                objects: 100,
+                ops: 60,
+                object_size: 1024,
+                ..Default::default()
+            };
+            sim.block_on(async move {
+                if merged {
+                    run_micro_merged(clients, &h, &cfg).await
+                } else {
+                    run_micro_fleet(clients, &h, &cfg).await
+                }
+            })
+        };
+        let shared = run(true);
+        let fleet = run(false);
+        assert_eq!(fleet.ops, shared.ops);
+        assert_eq!(fleet.latency.p50_ns, shared.latency.p50_ns);
+        assert_eq!(fleet.latency.p99_ns, shared.latency.p99_ns);
+        assert_eq!(fleet.latency.max_ns, shared.latency.max_ns);
+    }
+
+    #[test]
+    fn sharded_client_runs_micro_loop_across_servers() {
+        let mut sim = Sim::new(11);
+        let cluster = Cluster::new(sim.handle(), prdma_node::ClusterConfig::with_servers(2, 1));
+        let map = prdma::ShardMap::new(2);
+        let opts = SystemOpts::for_object_size(1024, ServerProfile::light());
+        let client =
+            prdma_baselines::build_sharded_system(&cluster, SystemKind::WFlush, map, 2, 0, &opts);
+        let h = sim.handle();
+        let cfg = MicroConfig {
+            objects: 200,
+            ops: 150,
+            object_size: 1024,
+            ..Default::default()
+        };
+        let r = sim.block_on(async move { run_micro(&client, &h, &cfg).await });
+        assert_eq!(r.ops, 150);
+        assert!(r.kops > 0.0);
     }
 }
