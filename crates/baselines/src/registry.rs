@@ -190,6 +190,7 @@ pub fn build_system(
             throttle_backoff: SimDuration::from_micros(20),
             head_persist_interval: 16,
             retry: Default::default(),
+            ..Default::default()
         };
         let (client, server) = build_durable(cluster, client_idx, server_idx, lane, cfg);
         server.start();

@@ -17,7 +17,10 @@
 //! see the same scaled constants, so the normalized ratios remain
 //! comparable.
 
-use prdma::{build_durable, DurableConfig, DurableKind, RetryPolicy, RpcClient, ServerProfile};
+use prdma::{
+    build_durable, build_replicated, DurableConfig, DurableKind, RetryPolicy, RpcClient,
+    ServerProfile,
+};
 use prdma_baselines::{build_system, SystemKind, SystemOpts};
 use prdma_node::{Cluster, ClusterConfig};
 use prdma_simnet::fault::{FaultKind, FaultPlan};
@@ -356,6 +359,152 @@ pub fn insim_cell(
     }
 }
 
+/// Run `ops` mixed (50/50) micro ops against either one durable server
+/// (node 0) or a primary–backup replicated pair (nodes 0 and 1, node 0
+/// primary), optionally crashing node 0 mid-run for [`RESTART`].
+/// Returns the workload result and the crashes applied.
+fn run_replicated_scheme(
+    kind: DurableKind,
+    replicated: bool,
+    ops: u64,
+    seed: u64,
+    crash_at: Option<SimTime>,
+    tag: &str,
+) -> (RunResult, u64) {
+    let mut sim = Sim::new(seed);
+    let mut ccfg = ClusterConfig::with_servers(2, 1);
+    ccfg.rnic.retransfer_interval = RETRANSFER;
+    ccfg.journal = journal_enabled();
+    let cluster = Cluster::new(sim.handle(), ccfg);
+    let cfg = DurableConfig {
+        slot_payload: OBJECT_SIZE,
+        object_slot: OBJECT_SIZE,
+        retry: FAULT_RETRY,
+        ..DurableConfig::for_kind(kind)
+    };
+    let injector = crash_at.map(|at| {
+        cluster.inject_faults(FaultPlan::new().at(
+            at,
+            0,
+            FaultKind::NodeCrash { down_for: RESTART },
+        ))
+    });
+    let client: Box<dyn RpcClient> = if replicated {
+        let (c, group) = build_replicated(&cluster, 2, &[0, 1], cfg);
+        if let Some(inj) = &injector {
+            // Fast failover: promote the backup the moment the primary
+            // crashes; replay + rejoin + catch-up at restart.
+            group.wire_failover(inj);
+        }
+        Box::new(c)
+    } else {
+        let (c, s) = build_durable(&cluster, 2, 0, 0, cfg);
+        s.start();
+        if let Some(inj) = &injector {
+            inj.on_recovery(move |_, k| match k {
+                FaultKind::NodeCrash { .. } => {
+                    s.recover_and_requeue();
+                }
+                FaultKind::ServiceCrash { .. } => {
+                    s.recover_service_and_requeue();
+                }
+                _ => {}
+            });
+        }
+        Box::new(c)
+    };
+    let mcfg = MicroConfig {
+        objects: 500,
+        ops,
+        object_size: OBJECT_SIZE,
+        read_ratio: 0.5,
+        seed: seed ^ 0x1357,
+    };
+    let h = sim.handle();
+    let run = sim.block_on(async move { run_micro(client.as_ref(), &h, &mcfg).await });
+    let crashes = injector.map_or(0, |inj| inj.stats().node_crashes);
+    export_and_audit(&cluster, tag);
+    (run, crashes)
+}
+
+/// The replicated companion to the availability sweep: measured
+/// availability (clean elapsed / faulty elapsed) of an unreplicated vs
+/// a primary–backup replicated durable service when the (primary)
+/// server node crashes mid-run. The unreplicated client rides out the
+/// whole restart on retries; the replicated client fails over to the
+/// promoted backup, so its availability must come out strictly higher —
+/// asserted here, so every sweep enforces it.
+fn replicated_availability_table(ops: u64) -> Table {
+    let mut t = Table::new(
+        "fig12_insim_replicated",
+        format!(
+            "Measured availability under a NodeCrash of the primary \
+             ({ops} ops, 50%R+50%W, 3ms restart): primary–backup \
+             replication vs riding out the restart on retries"
+        ),
+        &[
+            "kind",
+            "clean_unrep_us",
+            "faulty_unrep_us",
+            "avail_unrep",
+            "clean_repl_us",
+            "faulty_repl_us",
+            "avail_repl",
+        ],
+    );
+    let rows = par_map(vec![DurableKind::WFlush, DurableKind::SRFlush], |kind| {
+        let seed = 2021 ^ kind as u64;
+        let slug = kind.name().to_lowercase().replace('-', "_");
+        let cell = |replicated: bool, crash_at: Option<SimTime>, leg: &str| {
+            run_replicated_scheme(
+                kind,
+                replicated,
+                ops,
+                seed,
+                crash_at,
+                &format!("insim_repl_{slug}_{leg}"),
+            )
+        };
+        let (clean_u, _) = cell(false, None, "clean_unrep");
+        let (clean_r, _) = cell(true, None, "clean_repl");
+        // Crash mid-run: half of each scheme's own clean elapsed.
+        let mid = |clean: &RunResult| SimTime::from_nanos(clean.elapsed.as_nanos() / 2);
+        let (faulty_u, crashes_u) = cell(false, Some(mid(&clean_u)), "crash_unrep");
+        let (faulty_r, crashes_r) = cell(true, Some(mid(&clean_r)), "crash_repl");
+        assert_eq!(crashes_u, 1, "{kind:?}: unreplicated crash not applied");
+        assert_eq!(crashes_r, 1, "{kind:?}: replicated crash not applied");
+        assert_eq!(
+            faulty_u.failed + faulty_r.failed,
+            0,
+            "{kind:?}: ops lost despite retries/failover"
+        );
+        let avail = |clean: &RunResult, faulty: &RunResult| {
+            clean.elapsed.as_nanos() as f64 / faulty.elapsed.as_nanos().max(1) as f64
+        };
+        let avail_u = avail(&clean_u, &faulty_u);
+        let avail_r = avail(&clean_r, &faulty_r);
+        assert!(
+            avail_r > avail_u,
+            "{kind:?}: replicated availability {avail_r:.3} must strictly exceed \
+                 unreplicated {avail_u:.3}"
+        );
+        let us = |r: &RunResult| format!("{:.1}", r.elapsed.as_nanos() as f64 / 1000.0);
+        vec![
+            kind.name().to_string(),
+            us(&clean_u),
+            us(&faulty_u),
+            format!("{avail_u:.3}"),
+            us(&clean_r),
+            us(&faulty_r),
+            format!("{avail_r:.3}"),
+        ]
+    });
+    for row in rows {
+        t.row(row);
+    }
+    t
+}
+
 /// The `fig12 --in-sim` sweep: availability x mix, in-sim vs analytic.
 pub fn fig12_in_sim(scale: Scale) -> Vec<Table> {
     let ops = scale.micro_ops.clamp(300, 1200);
@@ -403,5 +552,5 @@ pub fn fig12_in_sim(scale: Scale) -> Vec<Table> {
     for row in rows {
         t.row(row);
     }
-    vec![t]
+    vec![t, replicated_availability_table(ops)]
 }

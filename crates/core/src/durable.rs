@@ -28,8 +28,8 @@ use prdma_simnet::{channel, oneshot, OneshotSender, Receiver, Sender, SimDuratio
 
 use crate::flush::{FlushImpl, FlushOps};
 use crate::log::{
-    entry_data_part, LogCursor, LogEntry, LogLayout, OpCode, RedoLog, RemoteLogWriter, RpcOperator,
-    ENTRY_FOOTER, ENTRY_HEADER, LOG_HEADER_BYTES,
+    entry_data_part, entry_index_from_image, LogCursor, LogEntry, LogLayout, OpCode, RedoLog,
+    RemoteLogWriter, RpcOperator, ENTRY_FOOTER, ENTRY_HEADER, LOG_HEADER_BYTES, REPL_ID_BYTES,
 };
 use crate::rpc::{
     Request, Response, RetryPolicy, RpcClient, RpcError, RpcFuture, RpcResult, ServerProfile,
@@ -96,6 +96,11 @@ pub struct DurableConfig {
     pub object_slot: u64,
     /// Object-store region size in PM.
     pub store_capacity: u64,
+    /// PM region name for the object store. Connections sharing a name
+    /// on one node share the store; replicated shard groups give each
+    /// group a distinct name so a node hosting shard k's primary and
+    /// shard k−1's backup keeps their object spaces apart.
+    pub store_region: String,
     /// Flow control: throttle when this many entries are outstanding.
     pub throttle_threshold: u64,
     /// Flow control: how long the sender backs off.
@@ -120,6 +125,7 @@ impl Default for DurableConfig {
             slot_payload: 64 * 1024,
             object_slot: 64 * 1024,
             store_capacity: 32 * 1024 * 1024,
+            store_region: "objects".to_string(),
             throttle_threshold: 128,
             throttle_backoff: SimDuration::from_micros(20),
             head_persist_interval: 16,
@@ -180,6 +186,14 @@ struct Shared {
     ack_after: Cell<u64>,
     puts_logged: Cell<u64>,
     puts_processed: Cell<u64>,
+    /// Replicated-put retry duplicates skipped at apply time (the entry
+    /// was appended again by a retry, but its causal put id had already
+    /// been applied).
+    puts_deduped: Cell<u64>,
+    /// Next log index the send-based recv ring will arm a WQE for.
+    /// Shared so node-crash recovery can flush and re-arm the ring from
+    /// the recovered tail (see `recover_and_requeue`).
+    next_recv_index: Cell<u64>,
 }
 
 /// The client endpoint of a durable RPC connection.
@@ -237,13 +251,13 @@ pub fn build_durable(
         .expect("PM too small for log region");
     let layout = LogLayout::new(log_region, slot_size);
 
-    // Object store: shared across lanes.
-    let store_region = match server.alloc.lookup("objects") {
+    // Object store: shared across lanes (per region name).
+    let store_region = match server.alloc.lookup(&cfg.store_region) {
         Some(r) => r,
         None => server
             .alloc
             .alloc(
-                "objects",
+                &cfg.store_region,
                 cfg.store_capacity.min(server.alloc.remaining()),
                 64,
             )
@@ -288,6 +302,8 @@ pub fn build_durable(
         ack_after: Cell::new(0),
         puts_logged: Cell::new(0),
         puts_processed: Cell::new(0),
+        puts_deduped: Cell::new(0),
+        next_recv_index: Cell::new(0),
     });
 
     let client_ep = DurableClient {
@@ -346,6 +362,11 @@ impl DurableServer {
         self.shared.puts_logged.get()
     }
 
+    /// Replicated-put retry duplicates skipped at apply time.
+    pub fn puts_deduped(&self) -> u64 {
+        self.shared.puts_deduped.get()
+    }
+
     /// Start the server loops: arrival listeners and the worker pool.
     pub fn start(&self) {
         let h = self.log_qp_server.local().handle().clone();
@@ -364,16 +385,21 @@ impl DurableServer {
             for i in 0..window {
                 qp.post_recv(MemTarget::Pm(layout.slot_addr(i)));
             }
-            let mut next_index = window;
-            let mut arrived = 0u64;
+            shared.next_recv_index.set(window);
             h.spawn(async move {
                 loop {
                     let c = qp.recv().await;
-                    qp.post_recv(MemTarget::Pm(layout.slot_addr(next_index)));
-                    next_index += 1;
-                    // RC delivers in order: the i-th completion is entry i.
-                    let index = arrived;
-                    arrived += 1;
+                    let next = shared.next_recv_index.get();
+                    qp.post_recv(MemTarget::Pm(layout.slot_addr(next)));
+                    shared.next_recv_index.set(next + 1);
+                    // The packet identifies its own entry (the SFlush
+                    // RNIC resolves the destination from the message).
+                    // Counting completions instead would desynchronise
+                    // across a node crash: a send in flight at the crash
+                    // consumes a recv WQE that never completes.
+                    let Some(index) = entry_index_from_image(&c.payload) else {
+                        continue;
+                    };
                     // Software handling stalls while the service is down;
                     // the NIC-side absorption above (recv into PM slots)
                     // keeps running — that is the log-absorption property.
@@ -471,7 +497,7 @@ impl DurableServer {
                             // ACK under every kind — off the critical path.
                             node.tracer()
                                 .offpath_scope(process_entry(
-                                    &node, &log, &store, &profile, index, data,
+                                    &node, &log, &store, &profile, &shared, index, data,
                                 ))
                                 .await;
                             shared.puts_processed.set(shared.puts_processed.get() + 1);
@@ -497,6 +523,25 @@ impl DurableServer {
     pub fn recover_and_requeue(&self) -> Vec<LogEntry> {
         let pending = self.log.recover();
         self.shared.puts_logged.set(self.log.cursor().tail());
+        if self.kind.is_send_based() {
+            // Re-arm the recv ring. A send in flight at the crash
+            // consumed a recv WQE that can never complete (the NIC that
+            // would have written its CQE lost power), so the surviving
+            // pre-posted ring is offset from the recovered log tail:
+            // every later entry would DMA into the wrong slot and be
+            // dropped as invalid, wedging the connection for good.
+            // Flush the ring — QP-error semantics — and re-post a full
+            // window starting at the slot the client will append next.
+            let layout = *self.log.layout();
+            let window = (layout.slots / 2).max(1);
+            let tail = self.log.cursor().tail();
+            self.log_qp_server.flush_recvs();
+            for i in tail..tail + window {
+                self.log_qp_server
+                    .post_recv(MemTarget::Pm(layout.slot_addr(i)));
+            }
+            self.shared.next_recv_index.set(tail + window);
+        }
         for e in &pending {
             let _ = self.shared.work_tx.send(Work::Entry {
                 index: e.index,
@@ -599,6 +644,7 @@ async fn process_entry(
     log: &RedoLog,
     store: &ObjectStore,
     profile: &ServerProfile,
+    shared: &Rc<Shared>,
     index: u64,
     data: Payload,
 ) {
@@ -612,6 +658,29 @@ async fn process_entry(
         return;
     }
     node.cpu.dispatch_thread().await;
+    if entry.op.opcode == OpCode::RPut {
+        // Replicated put: the payload's first REPL_ID_BYTES are the
+        // causal put id. A retry after a partial replication failure
+        // re-appends the same id; only the first apply hits the store
+        // (exactly-once apply under at-least-once append).
+        let id = u64::from_le_bytes(
+            entry.payload[..REPL_ID_BYTES as usize]
+                .try_into()
+                .expect("RPut payload shorter than its id prefix"),
+        );
+        if !log.note_applied(id) {
+            shared.puts_deduped.set(shared.puts_deduped.get() + 1);
+            let _ = log.mark_done(index).await;
+            return;
+        }
+        if profile.processing_time > SimDuration::ZERO {
+            node.cpu.compute(profile.processing_time).await;
+        }
+        let body = Payload::from_bytes(entry.payload[REPL_ID_BYTES as usize..].to_vec());
+        let _ = store.put(entry.op.obj_id, &body).await;
+        let _ = log.mark_done(index).await;
+        return;
+    }
     if profile.processing_time > SimDuration::ZERO {
         node.cpu.compute(profile.processing_time).await;
     }
@@ -680,9 +749,35 @@ impl DurableClient {
     }
 
     async fn do_put(&self, obj: u64, data: Payload) -> RpcResult<Response> {
-        let op = RpcOperator {
-            opcode: OpCode::Put,
-            obj_id: obj,
+        self.do_put_inner(obj, data, None).await
+    }
+
+    /// A put carrying a causal replication id: logged as [`OpCode::RPut`]
+    /// with the id prefixed to the payload, deduplicated at apply time so
+    /// a retry after a partial replication failure never double-applies
+    /// on a replica that already ACKed. Runs under this client's
+    /// [`RetryPolicy`] like [`RpcClient::call`].
+    pub async fn put_tagged(&self, obj: u64, data: Payload, put_id: u64) -> RpcResult<Response> {
+        self.retry_loop(|| self.do_put_inner(obj, data.clone(), Some(put_id)))
+            .await
+    }
+
+    async fn do_put_inner(&self, obj: u64, data: Payload, tag: Option<u64>) -> RpcResult<Response> {
+        let (op, data) = match tag {
+            Some(id) => (
+                RpcOperator {
+                    opcode: OpCode::RPut,
+                    obj_id: obj,
+                },
+                Payload::composite(vec![Payload::from_bytes(id.to_le_bytes().to_vec()), data]),
+            ),
+            None => (
+                RpcOperator {
+                    opcode: OpCode::Put,
+                    obj_id: obj,
+                },
+                data,
+            ),
         };
         let put_bytes = data.len();
 

@@ -62,10 +62,15 @@ pub use log::{
     RemoteLogWriter, RpcOperator,
 };
 pub use recovery::{RecoveryOutcome, RecoveryStats};
-pub use replication::{build_replicated, ReplicatedClient};
+pub use replication::{
+    build_replicated, GroupView, ReplicaGroup, ReplicaOutcome, ReplicatedClient,
+};
 pub use rpc::{
     Request, Response, RetryPolicy, RpcBatchFuture, RpcClient, RpcError, RpcFuture, RpcResult,
     ServerProfile,
 };
-pub use shard::{build_sharded_durable, ShardMap, ShardPolicy, ShardedClient, ShardedDurable};
+pub use shard::{
+    build_replicated_sharded, build_sharded_durable, ReplicatedSharded, ShardMap, ShardPolicy,
+    ShardedClient, ShardedDurable,
+};
 pub use store::ObjectStore;

@@ -58,6 +58,10 @@ pub enum OpCode {
     Put,
     /// An opaque processing request (macro-benchmarks).
     Process,
+    /// A replicated put: the payload's first [`REPL_ID_BYTES`] bytes are
+    /// a little-endian causal put id shared by every replica of the same
+    /// logical put, used to deduplicate retry re-appends at apply time.
+    RPut,
 }
 
 impl OpCode {
@@ -65,6 +69,7 @@ impl OpCode {
         match self {
             OpCode::Put => 1,
             OpCode::Process => 2,
+            OpCode::RPut => 3,
         }
     }
 
@@ -72,10 +77,14 @@ impl OpCode {
         match v {
             1 => Some(OpCode::Put),
             2 => Some(OpCode::Process),
+            3 => Some(OpCode::RPut),
             _ => None,
         }
     }
 }
+
+/// Bytes of causal put id prefixed to every [`OpCode::RPut`] payload.
+pub const REPL_ID_BYTES: u64 = 8;
 
 /// The logged RPC operator: opcode + operand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,6 +172,21 @@ pub fn encode_entry(index: u64, op: RpcOperator, data: &Payload) -> Payload {
         data.clone(),
         Payload::from_bytes(footer),
     ])
+}
+
+/// Parse the entry index back out of a DMA image produced by
+/// [`encode_entry`] — the first header field. Send-based arrival handling
+/// identifies an inbound entry from the packet itself rather than trusting
+/// uninterrupted in-order delivery: a recv WQE consumed by a crash-aborted
+/// send never completes, so a completion counter would stay offset for
+/// every entry after the restart.
+pub fn entry_index_from_image(image: &Payload) -> Option<u64> {
+    let header = match image {
+        Payload::Composite(parts) => parts.first()?,
+        other => other,
+    };
+    let bytes = header.bytes()?;
+    Some(u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?))
 }
 
 /// Extract the data part from an entry image produced by [`encode_entry`]
@@ -265,6 +289,12 @@ pub struct RedoLog {
     cursor: LogCursor,
     /// Done flags for the current window (volatile; rebuilt on recovery).
     done_window: Rc<std::cell::RefCell<std::collections::BTreeSet<u64>>>,
+    /// Causal put ids already applied to the object store (replicated
+    /// puts only, see [`OpCode::RPut`]). Retained across [`recover`]
+    /// (RedoLog::recover): it models the dedup table a production system
+    /// would persist alongside the store, so a retry duplicate whose
+    /// original was applied pre-crash still skips re-apply after replay.
+    applied_ids: Rc<std::cell::RefCell<std::collections::BTreeSet<u64>>>,
     /// Persist the head pointer once it has advanced this many entries
     /// (1 = persist on every completion). Batching head persistence keeps
     /// PM-media work off the completion path; the cost is that up to
@@ -287,6 +317,7 @@ impl RedoLog {
             layout,
             cursor,
             done_window: Rc::default(),
+            applied_ids: Rc::default(),
             head_persist_interval: Cell::new(16),
             persisted_head: Cell::new(0),
             id_base: Cell::new(0),
@@ -301,6 +332,14 @@ impl RedoLog {
     /// Set the journal id namespace to lane `lane` (see `id_base` docs).
     pub fn set_journal_lane(&self, lane: u64) {
         self.id_base.set(lane << 40);
+    }
+
+    /// Record causal put id `id` as applied; returns `true` iff it was
+    /// fresh (first application). A `false` return means a retry
+    /// duplicate: the entry must still be marked done, but the store
+    /// write is skipped (exactly-once apply under at-least-once append).
+    pub fn note_applied(&self, id: u64) -> bool {
+        self.applied_ids.borrow_mut().insert(id)
     }
 
     fn jot(&self, subsystem: Subsystem, kind: EventKind, index: u64, bytes: u64) {

@@ -1,57 +1,364 @@
-//! Multi-replica remote persistence (paper Section 4.5, "Data Persistence
-//! with Multiple Replicas").
+//! Primary–backup replicated shard groups (paper Section 4.5, "Data
+//! Persistence with Multiple Replicas").
 //!
 //! The paper notes that its point-to-point Flush primitives are the
 //! foundation replication protocols need: a put is replication-durable
 //! once **every** replica's flush has ACKed. This module implements that
-//! extension: a [`ReplicatedClient`] fans a `Put` out to N durable RPC
-//! connections concurrently and resolves when all persistence ACKs are in
-//! (all-replica persistence, the strictest consistency point the paper
-//! discusses); reads are served by the primary. Because the underlying
-//! durable RPCs decouple persistence from processing, the replication
-//! critical path is just the slowest flush ACK — no replica CPU waits.
+//! as a primary–backup group: a [`ReplicatedClient`] fans each `Put` out
+//! to every live replica's PM over its own durable RPC connection and
+//! ACKs once all of them have persisted (journaled as `ReplAck`, checked
+//! by auditor invariant I4); reads are served by the current primary.
+//! Because the underlying durable RPCs decouple persistence from
+//! processing, the replication critical path is just the slowest flush
+//! ACK — no replica CPU waits.
+//!
+//! **Failover.** The group tracks a promotion epoch. When the primary
+//! crashes — detected instantly via [`FaultInjector::on_fault`] when
+//! wired with [`ReplicaGroup::wire_failover`], or lazily when a put/read
+//! sub-call errors out — the next live backup is promoted (`Promote`
+//! journal record, epoch bump) and traffic continues against the
+//! survivors instead of riding out the downtime. Puts ACKed while a
+//! replica is down are tracked and re-sent to it when it rejoins (as a
+//! backup: promotion is permanent), alongside the redo-log replay the
+//! recovery hooks already perform.
+//!
+//! **Exactly-once apply.** Every replicated put carries a causal put id
+//! (logged as [`OpCode::RPut`](crate::log::OpCode::RPut)); a retry after
+//! a *partial* replication failure re-sends only to replicas that have
+//! not ACKed, and even a re-append on an already-ACKed replica is
+//! deduplicated at apply time by id.
 
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use prdma_node::Cluster;
+use prdma_node::{Cluster, FaultInjector, Node};
 use prdma_rnic::Payload;
+use prdma_simnet::fault::FaultKind;
+use prdma_simnet::journal::{EventKind, Subsystem, NO_ID};
 use prdma_simnet::SimHandle;
 
-use crate::durable::{build_durable, DurableClient, DurableConfig, DurableServer};
-use crate::rpc::{Request, Response, RpcClient, RpcError, RpcFuture, RpcResult};
+use crate::durable::{build_durable, DurableClient, DurableConfig, DurableKind, DurableServer};
+use crate::log::REPL_ID_BYTES;
+use crate::rpc::{Request, Response, RetryPolicy, RpcClient, RpcError, RpcFuture, RpcResult};
 
-/// A client replicating durable puts to several servers.
-pub struct ReplicatedClient {
-    replicas: Vec<Rc<DurableClient>>,
-    handle: SimHandle,
+/// High bit namespace for causal replication put ids, so they can never
+/// collide with journal log ids (`lane << 40 | index`).
+const REPL_ID_BASE: u64 = 1 << 60;
+
+/// A put ACKed while a replica was down, owed to it at rejoin.
+struct MissedPut {
+    obj: u64,
+    data: Payload,
+    id: u64,
 }
 
-/// Build a replicated connection: the client at `client_idx` connects to
-/// every server in `server_idxs`; all servers run the same durable RPC
-/// configuration. Returns the client and the per-replica servers
-/// (started).
+/// Shared promotion/membership state of one replica group.
+struct GroupState {
+    /// Member node indices, by replica slot.
+    nodes: Vec<usize>,
+    /// Current primary's replica slot.
+    primary: Cell<usize>,
+    /// Promotion epoch: bumped on every primary change.
+    epoch: Cell<u64>,
+    /// Liveness marks, by replica slot (client-observed, not oracle).
+    up: RefCell<Vec<bool>>,
+    /// Puts owed to each down replica, delivered at rejoin.
+    missed: RefCell<Vec<Vec<MissedPut>>>,
+    /// Next causal put id counter.
+    next_put: Cell<u64>,
+    /// Id namespace: `REPL_ID_BASE | (group_tag << 32)`.
+    id_base: u64,
+    /// Client node, for journaling group events.
+    client: Node,
+}
+
+impl GroupState {
+    fn new(nodes: Vec<usize>, group_tag: u64, client: Node) -> Rc<Self> {
+        let n = nodes.len();
+        assert!(group_tag < 1 << 28, "group tag exceeds the id namespace");
+        Rc::new(GroupState {
+            nodes,
+            primary: Cell::new(0),
+            epoch: Cell::new(0),
+            up: RefCell::new(vec![true; n]),
+            missed: RefCell::new((0..n).map(|_| Vec::new()).collect()),
+            next_put: Cell::new(0),
+            id_base: REPL_ID_BASE | (group_tag << 32),
+            client,
+        })
+    }
+
+    fn alloc_put_id(&self) -> u64 {
+        let c = self.next_put.get();
+        self.next_put.set(c + 1);
+        assert!(c < 1 << 32, "put id counter exceeded the id namespace");
+        self.id_base | c
+    }
+
+    fn jot(&self, kind: EventKind, rpc_id: u64, wr_id: u64, bytes: u64) {
+        if let Some(j) = self.client.journal() {
+            j.record(Subsystem::Rpc, kind, rpc_id, wr_id, bytes);
+        }
+    }
+
+    /// Mark `slot` down; if it was the primary, promote the next live
+    /// backup (cyclic scan — deterministic) and bump the epoch.
+    fn mark_down(&self, slot: usize) {
+        {
+            let mut up = self.up.borrow_mut();
+            if !up[slot] {
+                return;
+            }
+            up[slot] = false;
+        }
+        if self.primary.get() == slot {
+            self.promote();
+        }
+    }
+
+    /// Rejoin `slot` as a backup. Promotion is permanent: a recovered
+    /// ex-primary does not reclaim the role, avoiding a second traffic
+    /// disruption.
+    fn mark_up(&self, slot: usize) {
+        self.up.borrow_mut()[slot] = true;
+    }
+
+    fn promote(&self) {
+        let up = self.up.borrow();
+        let n = up.len();
+        let cur = self.primary.get();
+        let Some(next) = (1..n).map(|d| (cur + d) % n).find(|&s| up[s]) else {
+            // No live backup: leave the primary in place; puts fall back
+            // to re-probing every replica until one rejoins.
+            return;
+        };
+        drop(up);
+        self.primary.set(next);
+        let epoch = self.epoch.get() + 1;
+        self.epoch.set(epoch);
+        self.jot(EventKind::Promote, NO_ID, epoch, self.nodes[next] as u64);
+    }
+
+    fn push_missed(&self, slot: usize, obj: u64, data: Payload, id: u64) {
+        self.missed.borrow_mut()[slot].push(MissedPut { obj, data, id });
+    }
+
+    fn drain_missed(&self, slot: usize) -> Vec<MissedPut> {
+        std::mem::take(&mut self.missed.borrow_mut()[slot])
+    }
+}
+
+/// Read-only view of a replica group's promotion state, used by sharded
+/// routing to expose which epoch/primary each shard is on.
+#[derive(Clone)]
+pub struct GroupView {
+    state: Rc<GroupState>,
+}
+
+impl GroupView {
+    /// Current promotion epoch (0 until the first failover).
+    pub fn epoch(&self) -> u64 {
+        self.state.epoch.get()
+    }
+
+    /// Current primary's replica slot within the group.
+    pub fn primary_slot(&self) -> usize {
+        self.state.primary.get()
+    }
+
+    /// Current primary's node index.
+    pub fn primary_node(&self) -> usize {
+        self.state.nodes[self.state.primary.get()]
+    }
+
+    /// Whether replica `slot` is currently marked live.
+    pub fn is_up(&self, slot: usize) -> bool {
+        self.state.up.borrow()[slot]
+    }
+}
+
+/// Outcome of one replica's durable sub-put within a fan-out round.
+pub struct ReplicaOutcome {
+    /// Replica slot within the group.
+    pub replica: usize,
+    /// The replica's node index.
+    pub node: usize,
+    /// The sub-put's result.
+    pub result: RpcResult<()>,
+}
+
+/// A client replicating durable puts to a primary–backup group.
+pub struct ReplicatedClient {
+    kind: DurableKind,
+    replicas: Vec<Rc<DurableClient>>,
+    state: Rc<GroupState>,
+    handle: SimHandle,
+    /// Outer ride-out policy (per-round backoff and round budget); the
+    /// per-replica sub-clients carry a short probe policy instead, so one
+    /// crashed replica never stalls the whole fan-out for the full ride.
+    retry: RetryPolicy,
+}
+
+/// The server side of a replica group: per-replica durable servers plus
+/// the failover wiring.
+pub struct ReplicaGroup {
+    /// The started per-replica servers, by replica slot.
+    pub servers: Vec<Rc<DurableServer>>,
+    replicas: Vec<Rc<DurableClient>>,
+    state: Rc<GroupState>,
+    handle: SimHandle,
+    replayed: Rc<Cell<usize>>,
+}
+
+/// Build a primary–backup replicated connection: the client at
+/// `client_idx` connects to every server in `server_idxs` (slot 0 starts
+/// as primary); all servers run the same durable RPC configuration and
+/// are started. Returns the client and the group handle (servers +
+/// failover wiring).
 pub fn build_replicated(
     cluster: &Cluster,
     client_idx: usize,
     server_idxs: &[usize],
     cfg: DurableConfig,
-) -> (ReplicatedClient, Vec<DurableServer>) {
+) -> (ReplicatedClient, ReplicaGroup) {
+    build_replicated_group(
+        cluster,
+        client_idx,
+        server_idxs,
+        &cfg,
+        0,
+        client_idx as u64,
+        None,
+    )
+}
+
+/// Group builder shared with the sharded topology: `lane_base` offsets
+/// the per-replica connection lanes, `group_tag` namespaces the causal
+/// put ids, and `store_region` (when given) overrides the object-store
+/// PM region name so co-hosted groups keep their object spaces apart.
+pub(crate) fn build_replicated_group(
+    cluster: &Cluster,
+    client_idx: usize,
+    server_idxs: &[usize],
+    cfg: &DurableConfig,
+    lane_base: usize,
+    group_tag: u64,
+    store_region: Option<String>,
+) -> (ReplicatedClient, ReplicaGroup) {
     assert!(!server_idxs.is_empty(), "need at least one replica");
+    let mut sub_cfg = cfg.clone();
+    // Make room for the causal put id prefixed to every RPut payload.
+    sub_cfg.slot_payload = cfg.slot_payload + REPL_ID_BYTES;
+    // Probe policy: one quick retry per round; the ReplicatedClient's
+    // outer loop owns the ride-out budget.
+    sub_cfg.retry = RetryPolicy {
+        request_timeout: cfg.retry.request_timeout,
+        max_retries: 1,
+        backoff: cfg.retry.backoff,
+    };
+    if let Some(region) = store_region {
+        sub_cfg.store_region = region;
+    }
     let mut replicas = Vec::with_capacity(server_idxs.len());
     let mut servers = Vec::with_capacity(server_idxs.len());
-    for (lane, &s) in server_idxs.iter().enumerate() {
-        let (c, srv) = build_durable(cluster, client_idx, s, lane, cfg.clone());
+    for (slot, &s) in server_idxs.iter().enumerate() {
+        let (c, srv) = build_durable(cluster, client_idx, s, lane_base + slot, sub_cfg.clone());
         srv.start();
         replicas.push(Rc::new(c));
-        servers.push(srv);
+        servers.push(Rc::new(srv));
     }
-    (
-        ReplicatedClient {
-            replicas,
-            handle: cluster.handle().clone(),
-        },
+    let state = GroupState::new(
+        server_idxs.to_vec(),
+        group_tag,
+        cluster.node(client_idx).clone(),
+    );
+    let client = ReplicatedClient {
+        kind: cfg.kind,
+        replicas: replicas.clone(),
+        state: Rc::clone(&state),
+        handle: cluster.handle().clone(),
+        retry: cfg.retry,
+    };
+    let group = ReplicaGroup {
         servers,
-    )
+        replicas,
+        state,
+        handle: cluster.handle().clone(),
+        replayed: Rc::default(),
+    };
+    (client, group)
+}
+
+impl ReplicaGroup {
+    /// This group's promotion-state view.
+    pub fn view(&self) -> GroupView {
+        GroupView {
+            state: Rc::clone(&self.state),
+        }
+    }
+
+    /// Log entries replayed by this group's recovery hooks so far.
+    pub fn replayed(&self) -> usize {
+        self.replayed.get()
+    }
+
+    /// Wire failover into the fault injector:
+    ///
+    /// - **at crash time** (`on_fault`): a member's `NodeCrash` or
+    ///   `ServiceCrash` marks its slot down; if it was the primary, the
+    ///   next live backup is promoted immediately — traffic fails over
+    ///   with near-zero downtime instead of waiting for replay;
+    /// - **at restart** (`on_recovery`): the member's redo log is
+    ///   replayed (`recover_and_requeue` after a node crash,
+    ///   `recover_service_and_requeue` after a service crash), the slot
+    ///   rejoins as a backup, and the puts it missed while down are
+    ///   re-sent in the background under their original causal ids.
+    pub fn wire_failover(&self, inj: &FaultInjector) {
+        {
+            let state = Rc::clone(&self.state);
+            inj.on_fault(move |node, _kind| {
+                for (slot, &n) in state.nodes.iter().enumerate() {
+                    if n == node {
+                        state.mark_down(slot);
+                    }
+                }
+            });
+        }
+        let state = Rc::clone(&self.state);
+        let servers = self.servers.clone();
+        let replicas = self.replicas.clone();
+        let replayed = Rc::clone(&self.replayed);
+        let h = self.handle.clone();
+        inj.on_recovery(move |node, kind| {
+            for (slot, &n) in state.nodes.iter().enumerate() {
+                if n != node {
+                    continue;
+                }
+                match kind {
+                    FaultKind::NodeCrash { .. } => {
+                        replayed.set(replayed.get() + servers[slot].recover_and_requeue().len());
+                    }
+                    FaultKind::ServiceCrash { .. } => {
+                        servers[slot].recover_service_and_requeue();
+                    }
+                    _ => continue,
+                }
+                state.mark_up(slot);
+                let missed = state.drain_missed(slot);
+                if !missed.is_empty() {
+                    // Catch-up runs off the critical path; the original
+                    // ids make it idempotent against any concurrent
+                    // client retry.
+                    let client = Rc::clone(&replicas[slot]);
+                    h.spawn(async move {
+                        for m in missed {
+                            let _ = client.put_tagged(m.obj, m.data, m.id).await;
+                        }
+                    });
+                }
+            }
+        });
+    }
 }
 
 impl ReplicatedClient {
@@ -60,23 +367,131 @@ impl ReplicatedClient {
         self.replicas.len()
     }
 
-    async fn put_all(&self, obj: u64, data: Payload) -> RpcResult<Response> {
-        // Fan out concurrently; the put is replication-durable when every
-        // replica's persistence ACK has arrived.
-        let mut joins = Vec::with_capacity(self.replicas.len());
-        for r in &self.replicas {
-            let r = Rc::clone(r);
+    /// This client's promotion-state view.
+    pub fn view(&self) -> GroupView {
+        GroupView {
+            state: Rc::clone(&self.state),
+        }
+    }
+
+    /// One fan-out round of `put_tagged(obj, data, id)` to every replica
+    /// in `targets`, spawned concurrently and **all joined** — no
+    /// outcome is abandoned, so when this returns no spawned sub-put is
+    /// still mutating a store. Failures mark the replica down (promoting
+    /// if it was the primary).
+    async fn fan_out_round(
+        &self,
+        obj: u64,
+        data: &Payload,
+        id: u64,
+        targets: &[usize],
+    ) -> Vec<ReplicaOutcome> {
+        let mut joins = Vec::with_capacity(targets.len());
+        for &slot in targets {
+            let r = Rc::clone(&self.replicas[slot]);
             let data = data.clone();
-            joins.push(
+            joins.push((
+                slot,
                 self.handle
-                    .spawn(async move { r.call(Request::Put { obj, data }).await }),
-            );
+                    .spawn(async move { r.put_tagged(obj, data, id).await.map(|_| ()) }),
+            ));
         }
-        let mut last = None;
-        for j in joins {
-            last = Some(j.await?);
+        let mut outcomes = Vec::with_capacity(joins.len());
+        for (slot, j) in joins {
+            let result = j.await;
+            if result.is_err() {
+                self.state.mark_down(slot);
+            }
+            outcomes.push(ReplicaOutcome {
+                replica: slot,
+                node: self.state.nodes[slot],
+                result,
+            });
         }
-        last.ok_or(RpcError::Unsupported("no replicas"))
+        outcomes
+    }
+
+    /// A single fan-out round to every replica, returning the structured
+    /// per-replica outcomes (tests and diagnostics; [`RpcClient::call`]
+    /// wraps this in the full ride-out/ACK protocol instead).
+    pub async fn put_once(&self, obj: u64, data: Payload) -> Vec<ReplicaOutcome> {
+        let id = self.state.alloc_put_id();
+        let targets: Vec<usize> = (0..self.replicas.len()).collect();
+        self.fan_out_round(obj, &data, id, &targets).await
+    }
+
+    async fn put_all(&self, obj: u64, data: Payload) -> RpcResult<Response> {
+        let id = self.state.alloc_put_id();
+        let n = self.replicas.len();
+        let mut acked = vec![false; n];
+        let mut rounds = 0u32;
+        let mut last_err = RpcError::TimedOut;
+        loop {
+            // Target every live, not-yet-ACKed replica; if the liveness
+            // marks say nobody is left (stale marks or a full outage),
+            // re-probe everyone still owing an ACK rather than deadlock.
+            let up = self.state.up.borrow().clone();
+            let mut targets: Vec<usize> = (0..n).filter(|&s| !acked[s] && up[s]).collect();
+            if targets.is_empty() {
+                targets = (0..n).filter(|&s| !acked[s]).collect();
+            }
+            for o in self.fan_out_round(obj, &data, id, &targets).await {
+                match o.result {
+                    Ok(()) => {
+                        acked[o.replica] = true;
+                        // One replica's PM holds the entry durably.
+                        self.state
+                            .jot(EventKind::ReplAppend, id, o.replica as u64, data.len());
+                    }
+                    Err(e) => last_err = e,
+                }
+            }
+            // Replication-durable once every *live* replica has ACKed
+            // (and at least one has): a down replica is owed the put at
+            // rejoin instead of blocking the ACK for its whole downtime.
+            let up = self.state.up.borrow().clone();
+            let n_acked = acked.iter().filter(|&&a| a).count();
+            if n_acked > 0 && (0..n).all(|s| acked[s] || !up[s]) {
+                for (s, &a) in acked.iter().enumerate() {
+                    if !a {
+                        self.state.push_missed(s, obj, data.clone(), id);
+                    }
+                }
+                self.state
+                    .jot(EventKind::ReplAck, id, n_acked as u64, data.len());
+                return Ok(Response {
+                    payload: None,
+                    durable: true,
+                });
+            }
+            rounds += 1;
+            if rounds > self.retry.max_retries {
+                return Err(last_err);
+            }
+            self.handle.sleep(self.retry.backoff).await;
+        }
+    }
+
+    /// Serve a read from the current primary, failing over (and
+    /// promoting) if it errors out — a Get keeps working after the
+    /// primary crashed as long as any replica is live.
+    async fn read(&self, req: Request) -> RpcResult<Response> {
+        let mut rounds = 0u32;
+        loop {
+            let slot = self.state.primary.get();
+            match self.replicas[slot].call(req.clone()).await {
+                Ok(resp) => return Ok(resp),
+                Err(e) if !e.is_retryable() => return Err(e),
+                Err(e) => {
+                    self.state.mark_down(slot);
+                    rounds += 1;
+                    if rounds > self.retry.max_retries {
+                        return Err(e);
+                    }
+                }
+            }
+            self.handle.sleep(self.retry.backoff).await;
+        }
     }
 }
 
@@ -85,20 +500,24 @@ impl RpcClient for ReplicatedClient {
         Box::pin(async move {
             match req {
                 Request::Put { obj, data } => self.put_all(obj, data).await,
-                read => self.replicas[0].call(read).await,
+                read => self.read(read).await,
             }
         })
     }
 
     fn name(&self) -> &'static str {
-        "Replicated-WFlush-RPC"
+        match self.kind {
+            DurableKind::WFlush => "Replicated-WFlush-RPC",
+            DurableKind::SFlush => "Replicated-SFlush-RPC",
+            DurableKind::WRFlush => "Replicated-W-RFlush-RPC",
+            DurableKind::SRFlush => "Replicated-S-RFlush-RPC",
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::durable::DurableKind;
     use crate::rpc::ServerProfile;
     use prdma_node::ClusterConfig;
     use prdma_simnet::Sim;
@@ -120,8 +539,8 @@ mod tests {
         let mut sim = Sim::new(77);
         // node 3 is the client; 0..3 are replicas.
         let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(4));
-        let (client, servers) = build_replicated(&cluster, 3, &[0, 1, 2], cfg());
-        let logs: Vec<_> = servers.iter().map(|s| s.log().clone()).collect();
+        let (client, group) = build_replicated(&cluster, 3, &[0, 1, 2], cfg());
+        let logs: Vec<_> = group.servers.iter().map(|s| s.log().clone()).collect();
         let nodes: Vec<_> = (0..3).map(|i| cluster.node(i).clone()).collect();
         sim.block_on(async move {
             client
@@ -140,7 +559,12 @@ mod tests {
         for (i, log) in logs.iter().enumerate() {
             let pending = log.recover();
             assert_eq!(pending.len(), 1, "replica {i}");
-            assert_eq!(pending[0].payload, b"replicated", "replica {i}");
+            // RPut payload = 8-byte causal id, then the object bytes.
+            assert_eq!(
+                &pending[0].payload[REPL_ID_BYTES as usize..],
+                b"replicated",
+                "replica {i}"
+            );
         }
     }
 
@@ -150,7 +574,7 @@ mod tests {
         let latency = |n: usize| {
             let mut sim = Sim::new(78);
             let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(n + 1));
-            let (client, _servers) =
+            let (client, _group) =
                 build_replicated(&cluster, n, &(0..n).collect::<Vec<_>>(), cfg());
             let h = sim.handle();
             sim.block_on(async move {
@@ -180,7 +604,8 @@ mod tests {
     fn reads_served_by_primary() {
         let mut sim = Sim::new(79);
         let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(3));
-        let (client, _servers) = build_replicated(&cluster, 2, &[0, 1], cfg());
+        let (client, group) = build_replicated(&cluster, 2, &[0, 1], cfg());
+        assert_eq!(group.view().primary_node(), 0);
         let got = sim.block_on(async move {
             client
                 .call(Request::Put {
@@ -195,5 +620,40 @@ mod tests {
                 .unwrap()
         });
         assert_eq!(got.payload.unwrap().len(), 512);
+    }
+
+    #[test]
+    fn degraded_put_acks_on_survivors_and_catches_up() {
+        // Crash the backup outside any injector: the put path itself
+        // detects the failure, ACKs on the primary alone, and owes the
+        // backup a missed put.
+        let mut sim = Sim::new(80);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(3));
+        let mut c = cfg();
+        c.retry = RetryPolicy {
+            request_timeout: prdma_simnet::SimDuration::from_micros(200),
+            max_retries: 20,
+            backoff: prdma_simnet::SimDuration::from_micros(50),
+        };
+        let (client, group) = build_replicated(&cluster, 2, &[0, 1], c);
+        let backup = cluster.node(1).clone();
+        let view = group.view();
+        sim.block_on(async move {
+            backup.crash();
+            client
+                .call(Request::Put {
+                    obj: 1,
+                    data: Payload::synthetic(256, 1),
+                })
+                .await
+                .expect("put must ACK on the surviving primary");
+        });
+        assert!(!view.is_up(1), "backup must be marked down");
+        assert_eq!(view.epoch(), 0, "backup loss must not change the primary");
+        assert_eq!(
+            group.state.missed.borrow()[1].len(),
+            1,
+            "the backup is owed the put it missed"
+        );
     }
 }

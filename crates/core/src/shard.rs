@@ -17,8 +17,9 @@
 use std::rc::Rc;
 
 use crate::durable::{build_durable, DurableClient, DurableConfig, DurableServer};
+use crate::replication::{build_replicated_group, GroupView, ReplicaGroup};
 use crate::rpc::{Request, Response, RpcBatchFuture, RpcClient, RpcFuture, RpcResult};
-use prdma_node::Cluster;
+use prdma_node::{Cluster, FaultInjector};
 
 /// How global object ids map onto shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,13 +132,47 @@ impl ShardMap {
 pub struct ShardedClient {
     map: ShardMap,
     shards: Vec<Box<dyn RpcClient>>,
+    /// Per-shard replica-group views (replicated topologies only):
+    /// routing is promotion-aware — each shard's endpoint fails over
+    /// internally, and these views expose which epoch/primary the
+    /// routing currently targets.
+    views: Vec<GroupView>,
 }
 
 impl ShardedClient {
     /// Wrap one client per shard (index = shard id) under `map`.
     pub fn new(map: ShardMap, shards: Vec<Box<dyn RpcClient>>) -> Self {
         assert_eq!(map.shards(), shards.len(), "one client endpoint per shard");
-        ShardedClient { map, shards }
+        ShardedClient {
+            map,
+            shards,
+            views: Vec::new(),
+        }
+    }
+
+    /// Like [`new`](ShardedClient::new), with one replica-group view per
+    /// shard so the router knows each shard's promotion state.
+    pub fn with_views(
+        map: ShardMap,
+        shards: Vec<Box<dyn RpcClient>>,
+        views: Vec<GroupView>,
+    ) -> Self {
+        assert_eq!(map.shards(), views.len(), "one group view per shard");
+        let mut c = ShardedClient::new(map, shards);
+        c.views = views;
+        c
+    }
+
+    /// The promotion epoch shard `shard`'s routing is on (`None` for
+    /// unreplicated topologies).
+    pub fn shard_epoch(&self, shard: usize) -> Option<u64> {
+        self.views.get(shard).map(GroupView::epoch)
+    }
+
+    /// The node currently serving shard `shard` as primary (`None` for
+    /// unreplicated topologies).
+    pub fn primary_of(&self, shard: usize) -> Option<usize> {
+        self.views.get(shard).map(GroupView::primary_node)
     }
 
     /// The shard map.
@@ -318,6 +353,92 @@ pub fn build_sharded_durable(
     ShardedDurable { clients, servers }
 }
 
+/// A sharded durable KV service whose shards are primary–backup replica
+/// groups: shard `s`'s primary lives on server node `s` and its backups
+/// on the next server nodes (mod shard count), so every node hosts one
+/// primary and backups for its neighbours.
+pub struct ReplicatedSharded {
+    /// One promotion-aware sharded router per client node, in
+    /// `client_nodes` order.
+    pub clients: Vec<ShardedClient>,
+    /// `groups[shard][client]`: the replica group behind the connection
+    /// between `client_nodes[client]` and shard `shard`.
+    pub groups: Vec<Vec<ReplicaGroup>>,
+}
+
+impl ReplicatedSharded {
+    /// Wire every replica group's failover into the fault injector
+    /// (instant promotion at crash time, replay + rejoin + catch-up at
+    /// restart). See [`ReplicaGroup::wire_failover`].
+    pub fn wire_failover(&self, inj: &FaultInjector) {
+        for per_shard in &self.groups {
+            for g in per_shard {
+                g.wire_failover(inj);
+            }
+        }
+    }
+
+    /// Log entries replayed by recovery hooks so far, across all groups.
+    pub fn replayed(&self) -> usize {
+        self.groups
+            .iter()
+            .flat_map(|per_shard| per_shard.iter())
+            .map(ReplicaGroup::replayed)
+            .sum()
+    }
+}
+
+/// Build a replicated sharded durable KV service: like
+/// [`build_sharded_durable`], but each shard is served by a
+/// primary–backup group of `replicas` server nodes — shard `s` on nodes
+/// `[s, (s+1) % shards, …]` — and the routers learn each shard's
+/// promotion epoch. Each shard group keeps its own object-store region
+/// (`objects-s<shard>`): a node hosting shard `s`'s primary and shard
+/// `s−1`'s backup never mixes their object spaces. All server loops are
+/// started; call [`ReplicatedSharded::wire_failover`] to attach fast
+/// failover to a fault injector.
+pub fn build_replicated_sharded(
+    cluster: &Cluster,
+    map: ShardMap,
+    client_nodes: &[usize],
+    replicas: usize,
+    cfg: &DurableConfig,
+) -> ReplicatedSharded {
+    let shards = map.shards();
+    assert!(
+        cluster.servers() >= shards,
+        "cluster has {} server nodes, need {shards}",
+        cluster.servers()
+    );
+    assert!(
+        (1..=shards).contains(&replicas),
+        "need 1..={shards} replicas per shard, got {replicas}"
+    );
+    let mut groups: Vec<Vec<ReplicaGroup>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut clients = Vec::with_capacity(client_nodes.len());
+    for (c, &client_idx) in client_nodes.iter().enumerate() {
+        let mut per_shard: Vec<Box<dyn RpcClient>> = Vec::with_capacity(shards);
+        let mut views = Vec::with_capacity(shards);
+        for (shard, shard_groups) in groups.iter_mut().enumerate() {
+            let members: Vec<usize> = (0..replicas).map(|r| (shard + r) % shards).collect();
+            let (rc, group) = build_replicated_group(
+                cluster,
+                client_idx,
+                &members,
+                cfg,
+                (c * shards + shard) * replicas,
+                (c * shards + shard) as u64,
+                Some(format!("objects-s{shard}")),
+            );
+            views.push(rc.view());
+            per_shard.push(Box::new(rc));
+            shard_groups.push(group);
+        }
+        clients.push(ShardedClient::with_views(map, per_shard, views));
+    }
+    ReplicatedSharded { clients, groups }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,6 +543,49 @@ mod tests {
                     vec![0x40 + global as u8; 64],
                     "shard {shard} local {local}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn replicated_sharded_mirrors_each_shard_to_its_backup() {
+        let mut sim = Sim::new(29);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::with_servers(2, 1));
+        let cfg = DurableConfig {
+            profile: ServerProfile::light(),
+            slot_payload: 1024,
+            object_slot: 1024,
+            store_capacity: 1 << 20,
+            log_slots: 64,
+            ..Default::default()
+        };
+        let svc = build_replicated_sharded(&cluster, ShardMap::new(2), &[2], 2, &cfg);
+        let client = svc.clients.into_iter().next().unwrap();
+        assert_eq!(client.shard_epoch(0), Some(0));
+        assert_eq!(client.primary_of(0), Some(0));
+        assert_eq!(client.primary_of(1), Some(1));
+        let groups = svc.groups;
+        sim.block_on(async move {
+            for obj in 0..8u64 {
+                let data = Payload::from_bytes(vec![0x40 + obj as u8; 64]);
+                let r = client.call(Request::Put { obj, data }).await.unwrap();
+                assert!(r.durable);
+            }
+        });
+        sim.run();
+        // Each shard's 4 objects are applied on BOTH its replicas'
+        // stores (different nodes, same local ids); the co-hosted other
+        // shard's objects never leak into this shard's region.
+        for (shard, shard_groups) in groups.iter().enumerate() {
+            for (slot, server) in shard_groups[0].servers.iter().enumerate() {
+                for local in 0..4u64 {
+                    let global = local * 2 + shard as u64;
+                    assert_eq!(
+                        server.store().persistent_bytes(local, 64),
+                        vec![0x40 + global as u8; 64],
+                        "shard {shard} replica {slot} local {local}"
+                    );
+                }
             }
         }
     }

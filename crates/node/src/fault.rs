@@ -45,6 +45,11 @@ struct InjectorInner {
     /// immediately after an SRAM loss (the NIC-reset path). Receives the
     /// node index and the fault that was recovered from.
     hooks: RefCell<Vec<RecoveryHook>>,
+    /// Run synchronously when a node/service crash is *applied* (before
+    /// the restart is even scheduled). This is the failure-detection
+    /// point: replication layers promote a backup here so traffic fails
+    /// over instead of waiting out the downtime.
+    fault_hooks: RefCell<Vec<RecoveryHook>>,
     applied: Cell<usize>,
     total: usize,
 }
@@ -63,6 +68,17 @@ impl FaultInjector {
     /// simulation runs past the first fault.
     pub fn on_recovery<F: Fn(usize, FaultKind) + 'static>(&self, hook: F) {
         self.inner.hooks.borrow_mut().push(Box::new(hook));
+    }
+
+    /// Register a fault hook. Fault hooks run synchronously the moment a
+    /// `NodeCrash` or `ServiceCrash` is applied — the simulated
+    /// equivalent of instant failure detection — receiving the node
+    /// index and the fault being applied. Replication layers use this to
+    /// promote a backup with near-zero downtime
+    /// (`ReplicaGroup::wire_failover`). Other fault kinds do not fire
+    /// these hooks: nothing crashes, so there is nothing to fail over.
+    pub fn on_fault<F: Fn(usize, FaultKind) + 'static>(&self, hook: F) {
+        self.inner.fault_hooks.borrow_mut().push(Box::new(hook));
     }
 
     /// Counters of applied events.
@@ -87,6 +103,12 @@ impl FaultInjector {
         }
         self.bump(|s| s.restarts += 1);
     }
+
+    fn run_fault_hooks(&self, node: usize, kind: FaultKind) {
+        for hook in self.inner.fault_hooks.borrow().iter() {
+            hook(node, kind);
+        }
+    }
 }
 
 fn jot_fault(node: &Node, kind: EventKind, wr_id: u64) {
@@ -109,6 +131,7 @@ impl Cluster {
             inner: Rc::new(InjectorInner {
                 stats: Cell::new(FaultStats::default()),
                 hooks: RefCell::new(Vec::new()),
+                fault_hooks: RefCell::new(Vec::new()),
                 applied: Cell::new(0),
                 total: plan.len(),
             }),
@@ -142,6 +165,7 @@ fn apply_event(
             node.crash();
             jot_fault(&node, EventKind::NodeCrash, down_for.as_nanos());
             inj.bump(|s| s.node_crashes += 1);
+            inj.run_fault_hooks(ev.node, ev.kind);
             let inj = inj.clone();
             let h2 = h.clone();
             h.spawn(async move {
@@ -155,6 +179,7 @@ fn apply_event(
             node.crash_service();
             jot_fault(&node, EventKind::ServiceCrash, down_for.as_nanos());
             inj.bump(|s| s.service_crashes += 1);
+            inj.run_fault_hooks(ev.node, ev.kind);
             let inj = inj.clone();
             let h2 = h.clone();
             h.spawn(async move {
@@ -250,6 +275,35 @@ mod tests {
                 EventKind::SramLoss
             ]
         );
+    }
+
+    #[test]
+    fn fault_hooks_fire_at_crash_time_not_restart() {
+        let mut sim = Sim::new(4);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(2));
+        let plan = FaultPlan::new().at(
+            SimTime::from_nanos(1_000),
+            0,
+            FaultKind::NodeCrash {
+                down_for: SimDuration::from_micros(5),
+            },
+        );
+        let inj = cluster.inject_faults(plan);
+        let crashed_at: Rc<Cell<Option<u64>>> = Rc::default();
+        {
+            let crashed_at = Rc::clone(&crashed_at);
+            let h = sim.handle();
+            inj.on_fault(move |node, kind| {
+                assert_eq!(node, 0);
+                assert!(matches!(kind, FaultKind::NodeCrash { .. }));
+                crashed_at.set(Some(h.now().as_nanos()));
+            });
+        }
+        sim.run();
+        // The fault hook fires when the crash is applied, 5us before the
+        // restart (and its recovery hooks).
+        assert_eq!(crashed_at.get(), Some(1_000));
+        assert_eq!(inj.stats().restarts, 1);
     }
 
     #[test]

@@ -427,6 +427,19 @@ impl Qp {
         self.inner.local_ep.recv_posted.notify_one();
     }
 
+    /// Flush this endpoint's receive ring: drop every posted-but-unconsumed
+    /// recv WQE and any undrained completions, returning how many of each
+    /// were discarded. Models the software re-arm after a QP error
+    /// transition — a crash that aborts an in-flight send consumes a WQE
+    /// that can never complete, leaving the surviving ring offset from
+    /// what the application posted; recovery flushes and re-posts.
+    pub fn flush_recvs(&self) -> (usize, usize) {
+        let ep = &self.inner.local_ep;
+        let wqes = std::mem::take(&mut *ep.posted_recvs.borrow_mut()).len();
+        let cqes = std::mem::take(&mut *ep.completions.borrow_mut()).len();
+        (wqes, cqes)
+    }
+
     /// Await the next CQ completion (inbound `send` or `write_imm`).
     pub async fn recv(&self) -> RecvCompletion {
         self.inner.local_ep.pop_completion().await

@@ -158,6 +158,17 @@ pub enum EventKind {
     LossBurst,
     /// Injected ingress-link degradation began (`wr_id` = length in ns).
     LinkDegrade,
+    /// One replica's durable append resolved for a replicated put
+    /// (`rpc_id` = causal put id shared by every replica, `wr_id` =
+    /// replica slot within the group).
+    ReplAppend,
+    /// A replicated put acknowledged to the caller (`rpc_id` = causal
+    /// put id, `wr_id` = number of replicas whose appends the ACK
+    /// claims). Checked by auditor invariant I4.
+    ReplAck,
+    /// A backup was promoted to primary (`wr_id` = new epoch,
+    /// `bytes` = new primary's node id).
+    Promote,
 }
 
 impl EventKind {
@@ -189,6 +200,9 @@ impl EventKind {
             EventKind::SramLoss => "sram_loss",
             EventKind::LossBurst => "loss_burst",
             EventKind::LinkDegrade => "link_degrade",
+            EventKind::ReplAppend => "repl_append",
+            EventKind::ReplAck => "repl_ack",
+            EventKind::Promote => "promote",
         }
     }
 }
@@ -572,6 +586,8 @@ pub struct AuditReport {
     pub rpcs_checked: usize,
     /// Recovery scans checked (invariant 3).
     pub recoveries: usize,
+    /// Replicated put ACKs checked (invariant 4).
+    pub repl_acks: usize,
     /// Human-readable invariant violations (empty ⇒ audit passed).
     pub violations: Vec<String>,
 }
@@ -597,11 +613,12 @@ impl fmt::Display for AuditReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "audit: {} records, {} flush barriers, {} rpcs, {} recoveries — {}",
+            "audit: {} records, {} flush barriers, {} rpcs, {} recoveries, {} repl acks — {}",
             self.records,
             self.flush_acks,
             self.rpcs_checked,
             self.recoveries,
+            self.repl_acks,
             if self.ok() {
                 "PASS".to_string()
             } else {
@@ -624,6 +641,13 @@ impl fmt::Display for AuditReport {
 /// 3. **Recovery exactness** — each recovery scan on a log lane replays
 ///    exactly the entries appended at-or-after the persisted head and
 ///    before the scan (minus slots explicitly reported lost).
+/// 4. **Replication coverage** — a `ReplAck` claiming `n` replicas
+///    (`wr_id = n`) must be preceded by `ReplAppend`s for the same
+///    causal put id (`rpc_id`) on at least `n` distinct replica slots.
+///    Each `ReplAppend` is only emitted after that replica's own durable
+///    RPC resolved, whose completion invariant 2 already ties to its
+///    redo-log append — together: no replicated ACK before *every*
+///    counted replica's log append.
 pub fn audit(records: &[Record]) -> AuditReport {
     let mut rep = AuditReport {
         records: records.len(),
@@ -753,6 +777,35 @@ pub fn audit(records: &[Record]) -> AuditReport {
                     "lane {lane}: recovery from head {head} replayed entry {idx} that was never appended (or was already done before the persisted head)"
                 ));
             }
+        }
+    }
+
+    // --- Invariant 4: a ReplAck claiming n replicas must be covered by
+    // ReplAppends for the same causal put id on ≥ n distinct replica
+    // slots, all at-or-before the ACK.
+    for r in records {
+        if r.kind != EventKind::ReplAck || r.rpc_id == NO_ID {
+            continue;
+        }
+        rep.repl_acks += 1;
+        let claimed = r.wr_id as usize;
+        let slots: BTreeSet<u64> = records
+            .iter()
+            .filter(|a| {
+                a.kind == EventKind::ReplAppend
+                    && a.rpc_id == r.rpc_id
+                    && (a.ts_ns, a.node, a.seq) <= (r.ts_ns, r.node, r.seq)
+            })
+            .map(|a| a.wr_id)
+            .collect();
+        if slots.len() < claimed {
+            rep.violations.push(format!(
+                "repl put {:#x}: ACK at {} ns claims {} replicas but only {} replica appends precede it",
+                r.rpc_id,
+                r.ts_ns,
+                claimed,
+                slots.len()
+            ));
         }
     }
 
@@ -1303,6 +1356,93 @@ mod tests {
         let rep = audit(&records);
         assert!(!rep.ok());
         assert!(rep.violations[0].contains("flush ACK"));
+    }
+
+    #[test]
+    fn audit_checks_replicated_ack_coverage() {
+        let put_id = (1u64 << 60) | 7;
+        // Both replica slots appended before the ACK claiming 2: pass.
+        let records = vec![
+            rec(
+                5,
+                1,
+                0,
+                Subsystem::Rpc,
+                EventKind::ReplAppend,
+                put_id,
+                0,
+                64,
+            ),
+            rec(
+                9,
+                1,
+                1,
+                Subsystem::Rpc,
+                EventKind::ReplAppend,
+                put_id,
+                1,
+                64,
+            ),
+            rec(12, 1, 2, Subsystem::Rpc, EventKind::ReplAck, put_id, 2, 64),
+        ];
+        let rep = audit(&records);
+        rep.assert_ok();
+        assert_eq!(rep.repl_acks, 1);
+
+        // An ACK claiming 2 replicas with only one preceding append (the
+        // second lands after the ACK): violation.
+        let records = vec![
+            rec(
+                5,
+                1,
+                0,
+                Subsystem::Rpc,
+                EventKind::ReplAppend,
+                put_id,
+                0,
+                64,
+            ),
+            rec(12, 1, 1, Subsystem::Rpc, EventKind::ReplAck, put_id, 2, 64),
+            rec(
+                20,
+                1,
+                2,
+                Subsystem::Rpc,
+                EventKind::ReplAppend,
+                put_id,
+                1,
+                64,
+            ),
+        ];
+        let rep = audit(&records);
+        assert!(!rep.ok());
+        assert!(rep.violations[0].contains("claims 2 replicas"));
+
+        // Two appends on the SAME slot must not count as two replicas.
+        let records = vec![
+            rec(
+                5,
+                1,
+                0,
+                Subsystem::Rpc,
+                EventKind::ReplAppend,
+                put_id,
+                0,
+                64,
+            ),
+            rec(
+                9,
+                1,
+                1,
+                Subsystem::Rpc,
+                EventKind::ReplAppend,
+                put_id,
+                0,
+                64,
+            ),
+            rec(12, 1, 2, Subsystem::Rpc, EventKind::ReplAck, put_id, 2, 64),
+        ];
+        assert!(!audit(&records).ok());
     }
 
     #[test]

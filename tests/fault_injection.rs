@@ -241,3 +241,64 @@ fn seeded_fault_runs_are_byte_deterministic() {
     let c = faulty_journal(42);
     assert_ne!(a, c, "different seed should perturb the schedule");
 }
+
+/// Regression: a send in flight at the crash instant consumes a recv
+/// WQE that can never complete (the NIC that would have written its CQE
+/// lost power). Before the recovery-time recv-ring re-arm, the
+/// pre-posted ring stayed offset by one forever after the restart —
+/// every retried entry DMAed into the wrong log slot, was dropped as
+/// invalid, and the connection wedged with endless timeouts. A tight
+/// closed loop of large puts reliably straddles the crash for the
+/// send-based kinds; every op must still complete, and the auditor must
+/// sign off on the replayed suffix.
+#[test]
+fn crash_straddling_send_does_not_wedge_the_recv_ring() {
+    for kind in [DurableKind::SFlush, DurableKind::SRFlush] {
+        let mut sim = Sim::new(2021 ^ kind as u64);
+        let mut ccfg = ClusterConfig::with_nodes(2);
+        ccfg.journal = true;
+        let cluster = Cluster::new(sim.handle(), ccfg);
+        let cfg = DurableConfig {
+            slot_payload: 4096,
+            object_slot: 4096,
+            retry: RetryPolicy {
+                request_timeout: SimDuration::from_micros(200),
+                max_retries: 300,
+                backoff: SimDuration::from_micros(100),
+            },
+            ..DurableConfig::for_kind(kind)
+        };
+        let plan = FaultPlan::new().at(
+            SimTime::from_nanos(50_000),
+            0,
+            FaultKind::NodeCrash {
+                down_for: SimDuration::from_millis(3),
+            },
+        );
+        let inj = cluster.inject_faults(plan);
+        let (client, server) = build_durable(&cluster, 1, 0, 0, cfg);
+        server.start();
+        inj.on_recovery(move |_, k| {
+            if matches!(k, FaultKind::NodeCrash { .. }) {
+                server.recover_and_requeue();
+            }
+        });
+        let h = sim.handle();
+        sim.block_on(async move {
+            // No pacing: some op's delivery is mid-NIC when the crash
+            // lands, and the ops after it must ride out the restart.
+            for i in 0..12u64 {
+                client
+                    .call(Request::Put {
+                        obj: i % 10,
+                        data: Payload::synthetic(4096, i),
+                    })
+                    .await
+                    .unwrap_or_else(|e| panic!("{kind:?} put {i} wedged after the crash: {e}"));
+            }
+            h.sleep(SimDuration::from_millis(2)).await;
+        });
+        assert_eq!(inj.stats().node_crashes, 1, "{kind:?}");
+        cluster.audit_journal().assert_ok();
+    }
+}
