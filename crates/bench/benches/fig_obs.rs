@@ -1,0 +1,10 @@
+//! Observability dashboard + tail attribution + metrics-overhead gate.
+//! Run: cargo bench --bench fig_obs
+//! Flags after `--`: `--dashboard` for full per-tick resolution; env
+//! `PRDMA_OBS_GATE=1` turns the 5% overhead budget into an assertion.
+use prdma_bench::{emit_all, exp, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit_all(exp::fig_obs(scale));
+}

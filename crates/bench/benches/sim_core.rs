@@ -21,6 +21,7 @@ use prdma_bench::exp;
 use prdma_bench::report::output_dir;
 use prdma_bench::Scale;
 use prdma_rnic::Payload;
+use prdma_simnet::metrics::{Key, Metrics};
 use prdma_simnet::{channel, timeout, Histogram, Sim, SimDuration};
 use std::time::Instant;
 
@@ -144,6 +145,33 @@ fn bench_histogram(iters: u32) -> BenchResult {
     })
 }
 
+fn bench_metrics(iters: u32) -> BenchResult {
+    // 1M counter-bump + window-observe pairs through a live registry
+    // (ticker included), via pre-resolved `Counter`/`Window` handles —
+    // the same path the instrumented hot paths use. This is the
+    // per-record cost that the always-on fleet metrics add to every
+    // instrumented hot-path operation.
+    bench("metrics/record_1m", 1_000_000, iters, || {
+        let mut sim = Sim::new(1);
+        let m = Metrics::new(sim.handle(), 0, SimDuration::from_micros(100));
+        let ops_key = Key::new("ops").shard(1).kind("put");
+        let ops = m.counter_handle(ops_key);
+        let lat = m.window_handle(Key::new("lat").shard(1).kind("put"));
+        sim.spawn(async move {
+            let mut x = 88172645463325252u64;
+            for _ in 0..1_000_000u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                ops.incr(1);
+                lat.observe(x % 100_000);
+            }
+        });
+        sim.run();
+        (m.counter(ops_key), sim.events_processed())
+    })
+}
+
 fn bench_log_encode(iters: u32) -> BenchResult {
     let op = RpcOperator {
         opcode: OpCode::Put,
@@ -235,6 +263,7 @@ fn main() {
         bench_timer_cancel(iters),
         bench_channels(iters),
         bench_histogram(iters),
+        bench_metrics(iters),
         bench_log_encode(iters),
     ];
     let figs = if smoke { Vec::new() } else { time_figs() };

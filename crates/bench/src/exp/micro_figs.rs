@@ -67,8 +67,8 @@ pub fn fig08(scale: Scale) -> Vec<Table> {
     tables
 }
 
-/// Fig. 9: latency distribution (p50/p95/p99/p99.9/avg) for 1 KB and
-/// 64 KB objects.
+/// Fig. 9: latency distribution (p50/p95/p99/p99.9/max/avg) for 1 KB
+/// and 64 KB objects.
 pub fn fig09(scale: Scale) -> Vec<Table> {
     let sizes = [1024u64, 65536];
     let mut points = Vec::new();
@@ -93,6 +93,7 @@ pub fn fig09(scale: Scale) -> Vec<Table> {
             us_or_dash(n, r.run.latency.p95_us()),
             us_or_dash(n, r.run.latency.p99_us()),
             us_or_dash(n, r.run.latency.p999_us()),
+            us_or_dash(n, r.run.latency.max_us()),
             us_or_dash(n, r.run.latency.mean_us()),
         ]
     });
@@ -102,7 +103,7 @@ pub fn fig09(scale: Scale) -> Vec<Table> {
         let mut t = Table::new(
             format!("fig09_{}", size_label(size)),
             format!("Latency (us), {} objects", size_label(size)),
-            &["system", "p50", "p95", "p99", "p99.9", "avg"],
+            &["system", "p50", "p95", "p99", "p99.9", "max", "avg"],
         );
         for _ in SystemKind::PAPER_EVAL {
             t.row(rows.next().expect("row per sweep point"));

@@ -3,12 +3,14 @@
 pub mod fault_insim;
 pub mod macro_figs;
 pub mod micro_figs;
+pub mod obs;
 pub mod scaleout;
 pub mod summary;
 
 pub use fault_insim::{fig12_in_sim, insim_cell, measure_clean, CleanCosts, InSimCell};
 pub use macro_figs::{fig10, fig11, fig12, fig20};
 pub use micro_figs::{fig08, fig09, fig13, fig14_15_16, fig17, fig18, fig19};
+pub use obs::fig_obs;
 pub use scaleout::{fig_scaleout, scaleout_point, ScaleoutPoint};
 pub use summary::{
     abl_ddio, abl_flush_impl, abl_log_threshold, abl_replication, case_fig7a, table2,

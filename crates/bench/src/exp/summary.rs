@@ -47,6 +47,7 @@ pub fn table2(scale: Scale) -> Vec<Table> {
             "p50_us",
             "p99_us",
             "p99.9_us",
+            "max_us",
             "tail(p99/avg)",
             "scalability(50s/10s)",
             "sw_share",
@@ -93,6 +94,7 @@ pub fn table2(scale: Scale) -> Vec<Table> {
             us_or_dash(idle.run.ops, idle.run.latency.p50_us()),
             us_or_dash(idle.run.ops, idle.run.latency.p99_us()),
             us_or_dash(idle.run.ops, idle.run.latency.p999_us()),
+            us_or_dash(idle.run.ops, idle.run.latency.max_us()),
             format!("{tail:.2} ({})", classify(tail, 1.5, 3.0)),
             format!("{scal:.2} ({})", if scal < 1.5 { "Good" } else { "Medium" }),
             format!("{:.1}%", sw_share * 100.0),

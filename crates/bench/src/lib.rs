@@ -25,6 +25,7 @@
 //! | `fig19_batching` | Fig. 19 (batch sizes 1/4/8) |
 //! | `fig20_breakdown` | Fig. 20 (sender SW / RTT / receiver SW) |
 //! | `fig_scaleout` | beyond the paper: throughput/p99 vs. 1–8 shards |
+//! | `fig_obs` | fleet metrics dashboard, tail critical-path attribution, overhead gate |
 //! | `table2_summary` | Table 2 (qualitative summary, measured) |
 //! | `ablations` | DESIGN.md ablations (flush impl, DDIO, threshold) |
 //! | `sim_core` | microbenches of the simulator itself + `BENCH_simcore.json` |
@@ -43,8 +44,8 @@ pub mod runner;
 
 pub use report::Table;
 pub use runner::{
-    journal_enabled, micro_run, micro_run_concurrent, par_level, par_map, scaleout_run, ycsb_run,
-    EnvResult, ExpEnv, Scale,
+    journal_enabled, metrics_enabled, micro_run, micro_run_concurrent, par_level, par_map,
+    scaleout_run, set_metrics_override, ycsb_run, EnvResult, ExpEnv, Scale,
 };
 
 /// Emit (print + CSV) a set of tables.

@@ -23,6 +23,7 @@ use std::rc::Rc;
 use prdma_node::{Cluster, Node};
 use prdma_rnic::{MemTarget, Payload, Qp, QpMode};
 use prdma_simnet::journal::{EventKind, Subsystem, NO_ID};
+use prdma_simnet::metrics::{Counter, Gauge, Key, Window};
 use prdma_simnet::trace::{Phase, Role};
 use prdma_simnet::{channel, oneshot, OneshotSender, Receiver, Sender, SimDuration};
 
@@ -194,6 +195,9 @@ struct Shared {
     /// Shared so node-crash recovery can flush and re-arm the ring from
     /// the recovered tail (see `recover_and_requeue`).
     next_recv_index: Cell<u64>,
+    /// Pre-resolved server-node metric handles (None when metrics off).
+    m_puts_logged: Option<Counter>,
+    m_puts_processed: Option<Counter>,
 }
 
 /// The client endpoint of a durable RPC connection.
@@ -207,6 +211,23 @@ pub struct DurableClient {
     client_node: Node,
     lane: usize,
     retry: RetryPolicy,
+    /// Pre-resolved fleet-metric handles, if metrics are enabled.
+    metrics: Option<ClientMetrics>,
+}
+
+/// Per-connection metric handles, resolved once at build time so the
+/// hot path never performs a key lookup. Series are labeled with the
+/// server's node index (`shard`) and the durable kind.
+struct ClientMetrics {
+    puts: Counter,
+    put_bytes: Counter,
+    gets: Counter,
+    rpc_ok: Counter,
+    rpc_failed: Counter,
+    rpc_retries: Counter,
+    rpc_timeouts: Counter,
+    inflight: Gauge,
+    latency: Window,
 }
 
 /// The server endpoint of a durable RPC connection.
@@ -286,11 +307,28 @@ pub fn build_durable(
         log_qp_client,
         flush,
         layout,
-        cursor,
+        cursor.clone(),
         cfg.throttle_threshold,
         cfg.throttle_backoff,
     );
     writer.set_journal_lane(journal_lane);
+
+    // Fleet metrics: sample this connection's log depth and flow-control
+    // stalls at every snapshot tick. Keys are labeled with the server's
+    // node index (the shard the dashboard groups by); if one client opens
+    // several lanes to the same server, the last-registered lane's
+    // provider wins for that key.
+    if let Some(m) = client.metrics() {
+        let shard = server_idx as u32;
+        let c = cursor;
+        m.register_provider(Key::new("log_outstanding").shard(shard), move || {
+            c.outstanding() as i64
+        });
+        let stalls = writer.stall_cell();
+        m.register_provider(Key::new("log_stalls").shard(shard), move || {
+            stalls.get() as i64
+        });
+    }
 
     let (work_tx, work_rx) = channel();
     let (arrival_tx, arrival_rx) = channel();
@@ -304,13 +342,38 @@ pub fn build_durable(
         puts_processed: Cell::new(0),
         puts_deduped: Cell::new(0),
         next_recv_index: Cell::new(0),
+        m_puts_logged: server
+            .metrics()
+            .map(|m| m.counter_handle(Key::new("puts_logged"))),
+        m_puts_processed: server
+            .metrics()
+            .map(|m| m.counter_handle(Key::new("puts_processed"))),
     });
 
+    let metrics = client.metrics().map(|m| {
+        let k = |name: &'static str| {
+            Key::new(name)
+                .shard(server_idx as u32)
+                .kind(cfg.kind.name())
+        };
+        ClientMetrics {
+            puts: m.counter_handle(k("puts")),
+            put_bytes: m.counter_handle(k("put_bytes")),
+            gets: m.counter_handle(k("gets")),
+            rpc_ok: m.counter_handle(k("rpc_ok")),
+            rpc_failed: m.counter_handle(k("rpc_failed")),
+            rpc_retries: m.counter_handle(k("rpc_retries")),
+            rpc_timeouts: m.counter_handle(k("rpc_timeouts")),
+            inflight: m.gauge_handle(k("rpc_inflight")),
+            latency: m.window_handle(k("rpc_latency_ns")),
+        }
+    });
     let client_ep = DurableClient {
         kind: cfg.kind,
         writer,
         get_qp: get_qp_client,
         shared: Rc::clone(&shared),
+        metrics,
         client_node: client,
         lane,
         retry: cfg.retry,
@@ -501,6 +564,9 @@ impl DurableServer {
                                 ))
                                 .await;
                             shared.puts_processed.set(shared.puts_processed.get() + 1);
+                            if let Some(c) = &shared.m_puts_processed {
+                                c.incr(1);
+                            }
                         }
                         Work::Get {
                             obj,
@@ -523,6 +589,9 @@ impl DurableServer {
     pub fn recover_and_requeue(&self) -> Vec<LogEntry> {
         let pending = self.log.recover();
         self.shared.puts_logged.set(self.log.cursor().tail());
+        if let Some(m) = self.node.metrics() {
+            m.incr(Key::new("log_replayed"), pending.len() as u64);
+        }
         if self.kind.is_send_based() {
             // Re-arm the recv ring. A send in flight at the crash
             // consumed a recv WQE that can never complete (the NIC that
@@ -593,6 +662,9 @@ async fn handle_arrival(
         _ => return,
     }
     shared.puts_logged.set(shared.puts_logged.get() + 1);
+    if let Some(c) = &shared.m_puts_logged {
+        c.incr(1);
+    }
     let data = entry_data_part(&image);
 
     // The receiver CPU notices the message by polling.
@@ -748,6 +820,15 @@ impl DurableClient {
         }
     }
 
+    /// Link a replicated put's causal root id (`tag`) to this sub-put's
+    /// log-derived rpc id — the span-tree edge the analyzer follows from
+    /// the root to each replica's fan-out leg.
+    fn jot_link(&self, tag: Option<u64>, rpc_id: u64, bytes: u64) {
+        if let (Some(root), Some(j)) = (tag, self.client_node.journal()) {
+            j.record(Subsystem::Rpc, EventKind::ReplLink, root, rpc_id, bytes);
+        }
+    }
+
     async fn do_put(&self, obj: u64, data: Payload) -> RpcResult<Response> {
         self.do_put_inner(obj, data, None).await
     }
@@ -800,6 +881,7 @@ impl DurableClient {
             let appended = self.writer.append_send(op, &data).await?;
             rpc_id = self.writer.journal_id(appended.index);
             self.jot_rpc(EventKind::RpcDispatch, rpc_id, put_bytes);
+            self.jot_link(tag, rpc_id, put_bytes);
             match self.kind {
                 DurableKind::SFlush => {
                     self.writer.flush().sflush(appended.probe).await?;
@@ -818,6 +900,7 @@ impl DurableClient {
             let appended = self.writer.append_write(op, &data).await?;
             rpc_id = self.writer.journal_id(appended.index);
             self.jot_rpc(EventKind::RpcDispatch, rpc_id, put_bytes);
+            self.jot_link(tag, rpc_id, put_bytes);
             // Arrival notification: when the entry's DMA lands, the server
             // polling thread picks it up (handle_arrival).
             {
@@ -851,6 +934,10 @@ impl DurableClient {
         }
 
         self.jot_rpc(EventKind::RpcComplete, rpc_id, put_bytes);
+        if let Some(m) = &self.metrics {
+            m.puts.incr(1);
+            m.put_bytes.incr(put_bytes);
+        }
         Ok(Response {
             payload: None,
             durable: true,
@@ -900,6 +987,9 @@ impl DurableClient {
         let payload = rx.await.ok_or(RpcError::ServerDown)?;
         self.client_node.cpu.poll_dispatch().await;
         self.jot_rpc(EventKind::RpcComplete, rpc_id, payload.len());
+        if let Some(m) = &self.metrics {
+            m.gets.incr(1);
+        }
         Ok(Response {
             payload: Some(payload),
             durable: true,
@@ -1017,6 +1107,9 @@ impl DurableClient {
         for (rid, bytes) in rpc_ids {
             self.jot_rpc(EventKind::RpcComplete, rid, bytes);
         }
+        if let Some(m) = &self.metrics {
+            m.puts.incr(k as u64);
+        }
         Ok(vec![
             Response {
                 payload: None,
@@ -1039,25 +1132,45 @@ impl DurableClient {
         F: FnMut() -> Fut,
     {
         let h = self.get_qp.local().handle().clone();
+        let start = h.now();
+        if let Some(m) = &self.metrics {
+            m.inflight.add(1);
+        }
         let mut retries = 0u32;
-        loop {
+        let result = loop {
             match prdma_simnet::timeout(&h, self.retry.request_timeout, attempt()).await {
-                Ok(Ok(resp)) => return Ok(resp),
-                Ok(Err(e)) if !e.is_retryable() => return Err(e),
+                Ok(Ok(resp)) => break Ok(resp),
+                Ok(Err(e)) if !e.is_retryable() => break Err(e),
                 Ok(Err(e)) => {
+                    if let Some(m) = &self.metrics {
+                        m.rpc_retries.incr(1);
+                    }
                     if retries >= self.retry.max_retries {
-                        return Err(e);
+                        break Err(e);
                     }
                 }
                 Err(_elapsed) => {
+                    if let Some(m) = &self.metrics {
+                        m.rpc_timeouts.incr(1);
+                    }
                     if retries >= self.retry.max_retries {
-                        return Err(RpcError::TimedOut);
+                        break Err(RpcError::TimedOut);
                     }
                 }
             }
             retries += 1;
             h.sleep(self.retry.backoff).await;
+        };
+        if let Some(m) = &self.metrics {
+            m.inflight.add(-1);
+            m.latency.observe_duration(h.now() - start);
+            if result.is_ok() {
+                m.rpc_ok.incr(1);
+            } else {
+                m.rpc_failed.incr(1);
+            }
         }
+        result
     }
 
     async fn dispatch_one(&self, req: Request) -> RpcResult<Response> {

@@ -53,6 +53,7 @@ pub mod recovery;
 pub mod replication;
 pub mod rpc;
 pub mod shard;
+pub mod span;
 pub mod store;
 
 pub use durable::{build_durable, DurableClient, DurableConfig, DurableKind, DurableServer};
@@ -73,4 +74,5 @@ pub use shard::{
     build_replicated_sharded, build_sharded_durable, ReplicatedSharded, ShardMap, ShardPolicy,
     ShardedClient, ShardedDurable,
 };
+pub use span::{build_span_trees, tail_report, Attribution, Span, SpanTree, TailEntry, TailReport};
 pub use store::ObjectStore;

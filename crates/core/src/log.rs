@@ -537,6 +537,10 @@ pub struct RemoteLogWriter {
     throttle_backoff: SimDuration,
     /// Journal id namespace (`lane << 40`), mirroring [`RedoLog`].
     id_base: Cell<u64>,
+    /// Times the flow controller put this sender to sleep (throttle
+    /// threshold hit or ring-wrap safety); shared so a metrics provider
+    /// can sample it.
+    stalls: Rc<Cell<u64>>,
 }
 
 /// Receipt for an appended entry.
@@ -568,7 +572,18 @@ impl RemoteLogWriter {
             throttle_threshold,
             throttle_backoff,
             id_base: Cell::new(0),
+            stalls: Rc::default(),
         }
+    }
+
+    /// Times the flow controller slept this sender so far.
+    pub fn stall_count(&self) -> u64 {
+        self.stalls.get()
+    }
+
+    /// Shared stall counter, for metrics providers.
+    pub(crate) fn stall_cell(&self) -> Rc<Cell<u64>> {
+        Rc::clone(&self.stalls)
     }
 
     /// Set the journal id namespace to lane `lane` (see `id_base` docs).
@@ -619,6 +634,7 @@ impl RemoteLogWriter {
             if !throttled && !wrap_unsafe {
                 return;
             }
+            self.stalls.set(self.stalls.get() + 1);
             self.qp.local().handle().sleep(self.throttle_backoff).await;
         }
     }
@@ -637,6 +653,10 @@ impl RemoteLogWriter {
         self.flow_control().await;
         let index = self.cursor.advance_tail();
         self.jot_append(index, data.len());
+        // Stamp the QP so the NIC-level journal records (doorbell, wire
+        // segments, ACK) of this append carry the entry's rpc id — the
+        // span analyzer stitches them into the per-RPC causal tree.
+        self.qp.tag_rpc(self.journal_id(index));
         let image = encode_entry(index, op, data);
         let token = self
             .qp
@@ -670,6 +690,11 @@ impl RemoteLogWriter {
             writes.push((MemTarget::Pm(self.layout.slot_addr(index)), image));
             metas.push((index, data.len()));
         }
+        // One doorbell for the whole batch: its NIC records carry the
+        // first entry's id (the batch is a single causal unit).
+        if let Some((first, _)) = metas.first() {
+            self.qp.tag_rpc(self.journal_id(*first));
+        }
         let tokens = self.qp.write_batch(writes).await?;
         Ok(metas
             .into_iter()
@@ -690,6 +715,7 @@ impl RemoteLogWriter {
         self.flow_control().await;
         let index = self.cursor.advance_tail();
         self.jot_append(index, data.len());
+        self.qp.tag_rpc(self.journal_id(index));
         let image = encode_entry(index, op, data);
         let token = self.qp.send(image).await?;
         Ok(Appended {

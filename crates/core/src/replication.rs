@@ -35,6 +35,7 @@ use prdma_node::{Cluster, FaultInjector, Node};
 use prdma_rnic::Payload;
 use prdma_simnet::fault::FaultKind;
 use prdma_simnet::journal::{EventKind, Subsystem, NO_ID};
+use prdma_simnet::metrics::Key;
 use prdma_simnet::SimHandle;
 
 use crate::durable::{build_durable, DurableClient, DurableConfig, DurableKind, DurableServer};
@@ -137,10 +138,17 @@ impl GroupState {
         let epoch = self.epoch.get() + 1;
         self.epoch.set(epoch);
         self.jot(EventKind::Promote, NO_ID, epoch, self.nodes[next] as u64);
+        if let Some(m) = self.client.metrics() {
+            m.incr(Key::new("failovers"), 1);
+            m.gauge_set(Key::new("promotion_epoch"), epoch as i64);
+        }
     }
 
     fn push_missed(&self, slot: usize, obj: u64, data: Payload, id: u64) {
         self.missed.borrow_mut()[slot].push(MissedPut { obj, data, id });
+        if let Some(m) = self.client.metrics() {
+            m.incr(Key::new("missed_puts"), 1);
+        }
     }
 
     fn drain_missed(&self, slot: usize) -> Vec<MissedPut> {
@@ -422,6 +430,13 @@ impl ReplicatedClient {
 
     async fn put_all(&self, obj: u64, data: Payload) -> RpcResult<Response> {
         let id = self.state.alloc_put_id();
+        // Causal root of the span tree: the replicated put itself. Its id
+        // never appears in LogAppend records (each replica leg has its own
+        // log-derived id, linked via `ReplLink`), so the auditor's
+        // complete-after-append invariant is unaffected.
+        self.state
+            .jot(EventKind::RpcDispatch, id, NO_ID, data.len());
+        let t0 = self.handle.now();
         let n = self.replicas.len();
         let mut acked = vec![false; n];
         let mut rounds = 0u32;
@@ -459,6 +474,12 @@ impl ReplicatedClient {
                 }
                 self.state
                     .jot(EventKind::ReplAck, id, n_acked as u64, data.len());
+                self.state
+                    .jot(EventKind::RpcComplete, id, NO_ID, data.len());
+                if let Some(m) = self.state.client.metrics() {
+                    m.incr(Key::new("repl_puts"), 1);
+                    m.observe_duration(Key::new("repl_put_latency_ns"), self.handle.now() - t0);
+                }
                 return Ok(Response {
                     payload: None,
                     durable: true,

@@ -6,8 +6,9 @@ use std::rc::Rc;
 use prdma_pmem::{DaxAllocator, PmConfig, PmDevice, VolatileMemory};
 use prdma_rnic::{Fabric, NodeId, Qp, QpMode, Rnic, RnicConfig};
 use prdma_simnet::journal::{self, AuditReport, Journal, Record};
+use prdma_simnet::metrics::{self, Key, Metrics, Snapshot};
 use prdma_simnet::trace::{TraceReport, Tracer};
-use prdma_simnet::{Notify, SimHandle};
+use prdma_simnet::{Notify, SimDuration, SimHandle};
 
 use crate::cpu::{CpuConfig, CpuModel};
 
@@ -37,6 +38,12 @@ pub struct ClusterConfig {
     /// default: with no journal attached, the hot path allocates nothing
     /// and records nothing.
     pub journal: bool,
+    /// Attach a per-node [`Metrics`] registry. On by default — recording
+    /// consumes zero simulated time and zero randomness, so virtual-time
+    /// results and RNG streams are identical with metrics on or off.
+    pub metrics: bool,
+    /// Virtual-time interval between metrics snapshot ticks.
+    pub metrics_interval: SimDuration,
 }
 
 impl Default for ClusterConfig {
@@ -50,6 +57,8 @@ impl Default for ClusterConfig {
             dram_capacity: 64 * 1024 * 1024,
             client_pm_capacity: 2 * 1024 * 1024,
             journal: false,
+            metrics: true,
+            metrics_interval: SimDuration::from_millis(1),
         }
     }
 }
@@ -91,6 +100,7 @@ pub struct Node {
     rnic: Rnic,
     tracer: Tracer,
     journal: Option<Journal>,
+    metrics: Option<Metrics>,
     /// Software liveness: false while the node's RPC service is down.
     /// Distinct from the NIC's hardware liveness — a *service* crash (the
     /// paper's unikernel restart) leaves the NIC and PM operating, so
@@ -114,6 +124,12 @@ impl Node {
     /// The node's event journal, if [`ClusterConfig::journal`] was set.
     pub fn journal(&self) -> Option<&Journal> {
         self.journal.as_ref()
+    }
+
+    /// The node's metrics registry, unless [`ClusterConfig::metrics`]
+    /// was disabled.
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.metrics.as_ref()
     }
 
     /// Crash this node: RNIC SRAM, DRAM, and dirty LLC lines are lost;
@@ -212,6 +228,31 @@ impl Cluster {
                 rnic.set_journal(&j);
                 j
             });
+            // One metrics registry per node; gauge providers expose the
+            // NIC/PM occupancy numbers journal::gauges derives offline,
+            // so the dashboard sees utilization without full journaling.
+            let metrics = cfg.metrics.then(|| {
+                let m = Metrics::new(handle.clone(), i as u32, cfg.metrics_interval);
+                let nic = rnic.clone();
+                m.register_provider(Key::new("nic_sram_bytes"), move || nic.sram_bytes() as i64);
+                let nic = rnic.clone();
+                m.register_provider(Key::new("nic_dma_inflight"), move || {
+                    nic.dma_inflight() as i64
+                });
+                let nic = rnic.clone();
+                m.register_provider(Key::new("nic_msgs_processed"), move || {
+                    nic.msgs_processed() as i64
+                });
+                let nic = rnic.clone();
+                m.register_provider(Key::new("nic_retransmits"), move || {
+                    nic.retransmits() as i64
+                });
+                let dev = pm.clone();
+                m.register_provider(Key::new("pm_media_busy_us"), move || {
+                    dev.media_busy_time().as_micros_f64() as i64
+                });
+                m
+            });
             nodes.push(Node {
                 id,
                 pm,
@@ -221,6 +262,7 @@ impl Cluster {
                 rnic,
                 tracer,
                 journal,
+                metrics,
                 service_up: Rc::new(Cell::new(true)),
                 service_changed: Notify::new(),
             });
@@ -287,6 +329,28 @@ impl Cluster {
     /// Run the durability auditor over the merged journal.
     pub fn audit_journal(&self) -> AuditReport {
         journal::audit(&self.journal_records())
+    }
+
+    /// Capture a final snapshot on every node and return the merged
+    /// fleet stream ordered by `(ts_ns, node)` (empty when metrics are
+    /// disabled). Idle nodes that never recorded anything contribute
+    /// only their final forced snapshot.
+    pub fn metrics_snapshots(&self) -> Vec<Snapshot> {
+        let per_node: Vec<Vec<Snapshot>> = self
+            .nodes
+            .iter()
+            .filter_map(|n| n.metrics.as_ref())
+            .map(|m| {
+                m.force_snapshot();
+                m.snapshots()
+            })
+            .collect();
+        metrics::merge_snapshots(per_node)
+    }
+
+    /// The fleet metrics time series as deterministic JSONL.
+    pub fn metrics_jsonl(&self) -> String {
+        metrics::to_jsonl(&self.metrics_snapshots())
     }
 
     /// Connect nodes `a` and `b` with a QP pair; the client-side QP (first

@@ -109,6 +109,8 @@ struct RnicInner {
     injected_loss_rate: Cell<f64>,
     injected_loss_until: Cell<u64>,
     msgs_processed: Cell<u64>,
+    /// RC hardware retransmits attributed to this NIC as the sender.
+    retransmits: Cell<u64>,
     /// Latency-breakdown sink (the node's tracer, once attached).
     tracer: std::cell::RefCell<Option<Tracer>>,
     /// Structured event sink (the node's journal, once attached).
@@ -145,6 +147,7 @@ impl Rnic {
                 injected_loss_rate: Cell::new(0.0),
                 injected_loss_until: Cell::new(0),
                 msgs_processed: Cell::new(0),
+                retransmits: Cell::new(0),
                 tracer: std::cell::RefCell::new(None),
                 journal: std::cell::RefCell::new(None),
             }),
@@ -243,6 +246,18 @@ impl Rnic {
     /// Peak SRAM occupancy observed (bytes).
     pub fn sram_peak(&self) -> u64 {
         self.inner.sram_peak.get()
+    }
+
+    /// Current SRAM occupancy (bytes staged, not yet DMA'd). Metrics
+    /// gauge-provider hook.
+    pub fn sram_bytes(&self) -> u64 {
+        self.inner.sram_bytes.get()
+    }
+
+    /// Posted DMA writes currently in flight. Metrics gauge-provider
+    /// hook.
+    pub fn dma_inflight(&self) -> usize {
+        self.inner.active_dma.borrow().len()
     }
 
     /// DMA a payload from SRAM to `target`, honoring the DDIO setting.
@@ -508,6 +523,17 @@ impl Rnic {
     /// Messages handled by the processing engines.
     pub fn msgs_processed(&self) -> u64 {
         self.inner.msgs_processed.get()
+    }
+
+    /// Note one RC hardware retransmit with this NIC as the sender
+    /// (bumped by the QP layer's loss path).
+    pub fn note_retransmit(&self) {
+        self.inner.retransmits.set(self.inner.retransmits.get() + 1);
+    }
+
+    /// RC hardware retransmits sent by this NIC so far.
+    pub fn retransmits(&self) -> u64 {
+        self.inner.retransmits.get()
     }
 
     /// Fail with [`RdmaError::Disconnected`] if the node is down.

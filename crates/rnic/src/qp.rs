@@ -13,7 +13,7 @@
 //!   writes before servicing the read — the mechanism behind the paper's
 //!   emulated `WFlush` (read-after-write).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
@@ -157,6 +157,9 @@ struct QpInner {
     local_ep: Rc<Endpoint>,
     remote_ep: Rc<Endpoint>,
     sender_cpu: RefCell<Option<FifoResource>>,
+    /// RPC id stamped onto the next posted verb's journal records
+    /// ([`Qp::tag_rpc`]); consumed (reset to `NO_ID`) at verb entry.
+    rpc_tag: Cell<u64>,
 }
 
 /// One endpoint of a connected queue pair.
@@ -188,6 +191,7 @@ pub fn connect(
             local_ep: Rc::clone(&ep_a),
             remote_ep: Rc::clone(&ep_b),
             sender_cpu: RefCell::new(None),
+            rpc_tag: Cell::new(NO_ID),
         }),
     };
     let qb = Qp {
@@ -201,6 +205,7 @@ pub fn connect(
             local_ep: ep_b,
             remote_ep: ep_a,
             sender_cpu: RefCell::new(None),
+            rpc_tag: Cell::new(NO_ID),
         }),
     };
     (qa, qb)
@@ -232,25 +237,39 @@ impl Qp {
         self.inner.local.config()
     }
 
+    /// Stamp the next posted verb's journal records with an RPC id, so
+    /// span analyzers can attribute individual wire segments (data-out,
+    /// retransmits, hardware ACKs) to the request that caused them. The
+    /// tag applies to exactly one verb: it is consumed at the next verb's
+    /// entry, before any interleaving can occur (the cooperative executor
+    /// polls the verb's future synchronously).
+    pub fn tag_rpc(&self, rpc_id: u64) {
+        self.inner.rpc_tag.set(rpc_id);
+    }
+
+    fn take_tag(&self) -> u64 {
+        self.inner.rpc_tag.replace(NO_ID)
+    }
+
     /// Journal one event on the posting (local) node's Qp track.
-    fn jot_local(&self, kind: EventKind, bytes: u64) {
+    fn jot_local(&self, kind: EventKind, rpc_id: u64, bytes: u64) {
         if let Some(j) = self.inner.local.journal() {
-            j.record(Subsystem::Qp, kind, NO_ID, NO_ID, bytes);
+            j.record(Subsystem::Qp, kind, rpc_id, NO_ID, bytes);
         }
     }
 
     /// Journal one event on the remote node's Qp track (segments the
     /// remote NIC puts on the wire back toward us: ACKs, read data).
-    fn jot_remote(&self, kind: EventKind, bytes: u64) {
+    fn jot_remote(&self, kind: EventKind, rpc_id: u64, bytes: u64) {
         if let Some(j) = self.inner.remote.journal() {
-            j.record(Subsystem::Qp, kind, NO_ID, NO_ID, bytes);
+            j.record(Subsystem::Qp, kind, rpc_id, NO_ID, bytes);
         }
     }
 
-    async fn post_cost(&self, d: SimDuration) {
+    async fn post_cost(&self, rpc: u64, d: SimDuration) {
         // Verb posting is software on the local node; the tracer's role
         // decides whether that is sender- or receiver-side time.
-        self.jot_local(EventKind::Doorbell, 0);
+        self.jot_local(EventKind::Doorbell, rpc, 0);
         let _span = self.inner.local.tracer().map(|t| t.span_sw());
         let cpu = self.inner.sender_cpu.borrow().clone();
         match cpu {
@@ -277,9 +296,10 @@ impl Qp {
     /// One-sided RDMA write. Resolves at the sender's WC (see module docs);
     /// the returned token resolves when the receiver-side DMA lands.
     pub async fn write(&self, target: MemTarget, payload: Payload) -> RdmaResult<PersistToken> {
+        let rpc = self.take_tag();
         self.check_mtu(payload.len())?;
-        self.post_cost(self.cfg().post_onesided).await;
-        self.transfer_and_ack(Delivery::Write { target }, payload, None)
+        self.post_cost(rpc, self.cfg().post_onesided).await;
+        self.transfer_and_ack(rpc, Delivery::Write { target }, payload, None)
             .await
     }
 
@@ -291,18 +311,21 @@ impl Qp {
         payload: Payload,
         imm: u32,
     ) -> RdmaResult<PersistToken> {
+        let rpc = self.take_tag();
         self.check_mtu(payload.len())?;
-        self.post_cost(self.cfg().post_onesided).await;
-        self.transfer_and_ack(Delivery::Write { target }, payload, Some(imm))
+        self.post_cost(rpc, self.cfg().post_onesided).await;
+        self.transfer_and_ack(rpc, Delivery::Write { target }, payload, Some(imm))
             .await
     }
 
     /// Two-sided RDMA send: the receiver must have posted a recv buffer;
     /// data is DMA'd there and a CQ completion is raised.
     pub async fn send(&self, payload: Payload) -> RdmaResult<PersistToken> {
+        let rpc = self.take_tag();
         self.check_mtu(payload.len())?;
-        self.post_cost(self.cfg().post_twosided).await;
-        self.transfer_and_ack(Delivery::Send, payload, None).await
+        self.post_cost(rpc, self.cfg().post_twosided).await;
+        self.transfer_and_ack(rpc, Delivery::Send, payload, None)
+            .await
     }
 
     /// Doorbell-batched writes: one post for `items.len()` WQEs, messages
@@ -314,15 +337,19 @@ impl Qp {
         if items.is_empty() {
             return Ok(Vec::new());
         }
+        let rpc = self.take_tag();
         let k = items.len() as u64;
-        self.post_cost(self.cfg().post_onesided + self.cfg().post_batched_extra * (k - 1))
-            .await;
+        self.post_cost(
+            rpc,
+            self.cfg().post_onesided + self.cfg().post_batched_extra * (k - 1),
+        )
+        .await;
         let mut tokens = Vec::with_capacity(items.len());
         let n = items.len();
         for (i, (target, payload)) in items.into_iter().enumerate() {
             let last = i + 1 == n;
             let token = self
-                .transfer(Delivery::Write { target }, payload, None, last)
+                .transfer(rpc, Delivery::Write { target }, payload, None, last)
                 .await?;
             tokens.push(token);
         }
@@ -339,14 +366,21 @@ impl Qp {
         for p in &payloads {
             self.check_mtu(p.len())?;
         }
+        let rpc = self.take_tag();
         let k = payloads.len() as u64;
-        self.post_cost(self.cfg().post_twosided + self.cfg().post_batched_extra * (k - 1))
-            .await;
+        self.post_cost(
+            rpc,
+            self.cfg().post_twosided + self.cfg().post_batched_extra * (k - 1),
+        )
+        .await;
         let mut tokens = Vec::with_capacity(payloads.len());
         let n = payloads.len();
         for (i, payload) in payloads.into_iter().enumerate() {
             let last = i + 1 == n;
-            tokens.push(self.transfer(Delivery::Send, payload, None, last).await?);
+            tokens.push(
+                self.transfer(rpc, Delivery::Send, payload, None, last)
+                    .await?,
+            );
         }
         Ok(tokens)
     }
@@ -366,13 +400,14 @@ impl Qp {
     }
 
     async fn read_inner(&self, target: MemTarget, len: u64, inline: bool) -> RdmaResult<Payload> {
+        let rpc = self.take_tag();
         self.inner.remote.check_up()?;
-        self.post_cost(self.cfg().post_onesided).await;
+        self.post_cost(rpc, self.cfg().post_onesided).await;
         self.inner.local.process_message().await;
         // Read request: header-sized message.
         {
             let _span = self.wire_span();
-            self.jot_local(EventKind::WireSegment, self.cfg().header_bytes + 16);
+            self.jot_local(EventKind::WireSegment, rpc, self.cfg().header_bytes + 16);
             self.inner
                 .out_link
                 .transmit(self.cfg().header_bytes + 16)
@@ -383,7 +418,7 @@ impl Qp {
         let payload = self.inner.remote.dma_read(target, len, inline).await?;
         {
             let _span = self.wire_span();
-            self.jot_remote(EventKind::WireSegment, self.cfg().header_bytes + len);
+            self.jot_remote(EventKind::WireSegment, rpc, self.cfg().header_bytes + len);
             self.inner
                 .back_link
                 .transmit(self.cfg().header_bytes + len)
@@ -398,11 +433,12 @@ impl Qp {
     /// the wire behaviour of a native RDMA Flush verb (no PCIe read is
     /// performed, unlike the emulated read-after-write).
     pub async fn flush_command(&self) -> RdmaResult<()> {
+        let rpc = self.take_tag();
         self.inner.remote.check_up()?;
         self.inner.local.process_message().await;
         {
             let _span = self.wire_span();
-            self.jot_local(EventKind::WireSegment, self.cfg().header_bytes);
+            self.jot_local(EventKind::WireSegment, rpc, self.cfg().header_bytes);
             self.inner.out_link.transmit(self.cfg().header_bytes).await;
         }
         self.inner.remote.check_up()?;
@@ -410,7 +446,7 @@ impl Qp {
         self.inner.remote.drain_posted_writes().await?;
         {
             let _span = self.wire_span();
-            self.jot_remote(EventKind::WireSegment, self.cfg().ack_bytes);
+            self.jot_remote(EventKind::WireSegment, rpc, self.cfg().ack_bytes);
             self.inner.back_link.transmit(self.cfg().ack_bytes).await;
         }
         self.inner.local.process_message().await;
@@ -452,11 +488,12 @@ impl Qp {
 
     async fn transfer_and_ack(
         &self,
+        rpc: u64,
         delivery: Delivery,
         payload: Payload,
         imm: Option<u32>,
     ) -> RdmaResult<PersistToken> {
-        self.transfer(delivery, payload, imm, true).await
+        self.transfer(rpc, delivery, payload, imm, true).await
     }
 
     /// The shared wire path: local NIC -> link -> remote NIC -> SRAM, then
@@ -465,6 +502,7 @@ impl Qp {
     /// carries the coalesced ACK in a batch).
     async fn transfer(
         &self,
+        rpc: u64,
         delivery: Delivery,
         payload: Payload,
         imm: Option<u32>,
@@ -475,7 +513,7 @@ impl Qp {
         self.inner.local.process_message().await;
         {
             let _span = self.wire_span();
-            self.jot_local(EventKind::WireSegment, self.cfg().header_bytes + len);
+            self.jot_local(EventKind::WireSegment, rpc, self.cfg().header_bytes + len);
             self.inner
                 .out_link
                 .transmit(self.cfg().header_bytes + len)
@@ -492,9 +530,10 @@ impl Qp {
             match self.inner.mode {
                 QpMode::Rc => {
                     let _span = self.wire_span();
+                    self.inner.local.note_retransmit();
                     let d = self.cfg().rc_retransmit_delay;
                     self.inner.handle.sleep(d).await;
-                    self.jot_local(EventKind::WireSegment, self.cfg().header_bytes + len);
+                    self.jot_local(EventKind::WireSegment, rpc, self.cfg().header_bytes + len);
                     self.inner
                         .out_link
                         .transmit(self.cfg().header_bytes + len)
@@ -559,7 +598,7 @@ impl Qp {
             // Hardware ACK generated at SRAM arrival (NOT persistence).
             {
                 let _span = self.wire_span();
-                self.jot_remote(EventKind::WireSegment, self.cfg().ack_bytes);
+                self.jot_remote(EventKind::WireSegment, rpc, self.cfg().ack_bytes);
                 self.inner.back_link.transmit(self.cfg().ack_bytes).await;
             }
             self.inner.local.process_message().await;

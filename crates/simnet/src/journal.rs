@@ -42,6 +42,12 @@ pub const NO_ID: u64 = u64::MAX;
 /// so allocator-assigned ids can never collide with log-derived ids.
 pub const RPC_ID_BASE: u64 = 1 << 32;
 
+/// Per-node stride of the [`Journal::next_rpc_id`] allocator: node `n`
+/// hands out ids starting at `RPC_ID_BASE + n * NODE_RPC_SPAN`, so ids
+/// stay unique across a *merged* fleet stream (each client node runs its
+/// own journal), up to 16M allocations per node.
+pub const NODE_RPC_SPAN: u64 = 1 << 24;
+
 /// Default ring capacity, in records, per node.
 pub const DEFAULT_CAPACITY: usize = 1 << 20;
 
@@ -169,6 +175,11 @@ pub enum EventKind {
     /// A backup was promoted to primary (`wr_id` = new epoch,
     /// `bytes` = new primary's node id).
     Promote,
+    /// Links a replicated put's causal root id (`rpc_id`) to one of its
+    /// per-replica sub-puts (`wr_id` = the sub-put's log-derived rpc id).
+    /// Emitted at sub-put dispatch so span analyzers can stitch the
+    /// client → primary → backup fan-out into one tree.
+    ReplLink,
 }
 
 impl EventKind {
@@ -203,6 +214,7 @@ impl EventKind {
             EventKind::ReplAppend => "repl_append",
             EventKind::ReplAck => "repl_ack",
             EventKind::Promote => "promote",
+            EventKind::ReplLink => "repl_link",
         }
     }
 }
@@ -274,7 +286,7 @@ impl Journal {
                 capacity: capacity.max(1),
                 seq: Cell::new(0),
                 dropped: Cell::new(0),
-                next_rpc: Cell::new(RPC_ID_BASE),
+                next_rpc: Cell::new(RPC_ID_BASE + node as u64 * NODE_RPC_SPAN),
                 ring: RefCell::new(VecDeque::new()),
             }),
         }
@@ -315,8 +327,10 @@ impl Journal {
         ring.push_back(rec);
     }
 
-    /// Allocate a fresh causal RPC id (starts at [`RPC_ID_BASE`], so it
-    /// never collides with log-derived `(lane << 40) | index` ids).
+    /// Allocate a fresh causal RPC id (starts at [`RPC_ID_BASE`] plus
+    /// this node's [`NODE_RPC_SPAN`] slice, so it collides neither with
+    /// log-derived `(lane << 40) | index` ids nor with ids allocated by
+    /// another node's journal in a merged fleet stream).
     pub fn next_rpc_id(&self) -> u64 {
         let id = self.inner.next_rpc.get();
         self.inner.next_rpc.set(id + 1);
@@ -1121,6 +1135,15 @@ mod tests {
         let b = j.next_rpc_id();
         assert_eq!(a, RPC_ID_BASE);
         assert_eq!(b, RPC_ID_BASE + 1);
+    }
+
+    #[test]
+    fn rpc_id_allocators_are_disjoint_across_nodes() {
+        let sim = Sim::new(1);
+        let j3 = Journal::new(sim.handle(), 3);
+        let j4 = Journal::new(sim.handle(), 4);
+        assert_eq!(j3.next_rpc_id(), RPC_ID_BASE + 3 * NODE_RPC_SPAN);
+        assert_eq!(j4.next_rpc_id(), RPC_ID_BASE + 4 * NODE_RPC_SPAN);
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! * [`Journal`] — bounded per-node rings of typed event records with
 //!   causal IDs, with Perfetto export, utilization gauges, and a
 //!   journal-driven durability auditor (see [`journal`]).
+//! * [`Metrics`] — always-on per-node counters, gauges, and windowed
+//!   histograms with virtual-time snapshot ticks and deterministic JSONL
+//!   export (see [`metrics`]).
 //! * [`FaultPlan`] — deterministic schedules of crash / loss /
 //!   degradation events, scripted or seeded-stochastic (see [`fault`]).
 //!
@@ -50,6 +53,7 @@ mod combinator;
 mod executor;
 pub mod fault;
 pub mod journal;
+pub mod metrics;
 mod resource;
 pub mod rng;
 mod stats;
@@ -64,6 +68,7 @@ pub use combinator::{select2, timeout, Either, Elapsed, Timeout};
 pub use executor::{JoinHandle, Sim, SimHandle, Sleep, YieldNow};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use journal::{EventKind, Journal, Record, Subsystem};
+pub use metrics::{Key as MetricKey, Metrics, Snapshot as MetricsSnapshot};
 pub use resource::{FifoResource, SharedLink};
 pub use stats::{Histogram, Summary};
 pub use sync::{Acquire, Notified, Notify, SemPermit, Semaphore};

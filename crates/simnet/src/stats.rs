@@ -213,6 +213,11 @@ impl Summary {
     pub fn p999_us(&self) -> f64 {
         self.p999_ns as f64 / 1e3
     }
+
+    /// Maximum in microseconds.
+    pub fn max_us(&self) -> f64 {
+        self.max_ns as f64 / 1e3
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +279,73 @@ mod tests {
         assert_eq!(a.mean(), 200.0);
         assert_eq!(a.min(), 100);
         assert_eq!(a.max(), 300);
+    }
+
+    #[test]
+    fn merge_empty_into_nonempty_is_identity() {
+        let mut a = Histogram::new();
+        for v in [5u64, 700, 90_000] {
+            a.record(v);
+        }
+        let before = a.summary();
+        a.merge(&Histogram::new());
+        let after = a.summary();
+        assert_eq!(
+            before, after,
+            "merging an empty histogram must not move stats"
+        );
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 90_000);
+    }
+
+    #[test]
+    fn merge_nonempty_into_empty_adopts_all_stats() {
+        let mut src = Histogram::new();
+        for v in [12u64, 340, 5_600, 78_000] {
+            src.record(v);
+        }
+        let mut dst = Histogram::new();
+        dst.merge(&src);
+        assert_eq!(dst.count(), src.count());
+        assert_eq!(dst.mean(), src.mean());
+        assert_eq!(dst.min(), src.min());
+        assert_eq!(dst.max(), src.max());
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(dst.percentile(q), src.percentile(q), "q={q}");
+        }
+        // The sentinel min (u64::MAX in an empty histogram) must never
+        // leak into the merged result.
+        assert_eq!(dst.min(), 12);
+    }
+
+    #[test]
+    fn self_merge_doubles_count_preserving_min_max_and_percentiles() {
+        let mut h = Histogram::new();
+        let mut x = 3u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(100 + x % 10_000);
+        }
+        let orig = h.summary();
+        let copy = h.clone();
+        h.merge(&copy);
+        let merged = h.summary();
+        assert_eq!(merged.count, orig.count * 2);
+        assert_eq!(merged.min_ns, orig.min_ns);
+        assert_eq!(merged.max_ns, orig.max_ns);
+        assert_eq!(merged.mean_ns, orig.mean_ns);
+        // Doubling every bucket leaves all quantiles in place.
+        assert_eq!(merged.p50_ns, orig.p50_ns);
+        assert_eq!(merged.p99_ns, orig.p99_ns);
+        assert_eq!(merged.p999_ns, orig.p999_ns);
+    }
+
+    #[test]
+    fn summary_max_us_converts_from_nanos() {
+        let mut h = Histogram::new();
+        h.record(2_500);
+        assert_eq!(h.summary().max_us(), 2.5);
+        assert_eq!(Histogram::new().summary().max_us(), 0.0);
     }
 
     #[test]
