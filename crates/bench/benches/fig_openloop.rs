@@ -1,0 +1,8 @@
+//! Open-loop latency-vs-offered-load sweep with knee detection. Run: cargo bench --bench fig_openloop
+//! Sweep points run in parallel (`PRDMA_PAR=<n>` caps workers, `1` = serial; output is byte-identical either way).
+use prdma_bench::{emit_all, exp, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit_all(exp::fig_openloop(scale));
+}

@@ -417,6 +417,8 @@ pub struct Scale {
     pub concurrent_ops: u64,
     /// Ops in the failure-recovery replay.
     pub fault_ops: u64,
+    /// Simulated milliseconds per open-loop sweep point.
+    pub openloop_ms: u64,
 }
 
 impl Scale {
@@ -429,6 +431,7 @@ impl Scale {
             pr_iters: 10,
             concurrent_ops: 30_000,
             fault_ops: 1_000_000_000,
+            openloop_ms: 50,
         }
     }
 
@@ -441,6 +444,7 @@ impl Scale {
             pr_iters: 5,
             concurrent_ops: 1_500,
             fault_ops: 1_000_000_000,
+            openloop_ms: 20,
         }
     }
 
@@ -453,6 +457,7 @@ impl Scale {
             pr_iters: 2,
             concurrent_ops: 60,
             fault_ops: 10_000_000,
+            openloop_ms: 4,
         }
     }
 

@@ -24,8 +24,9 @@ use prdma_node::{Cluster, Node};
 use prdma_rnic::{MemTarget, Payload, Qp, QpMode};
 use prdma_simnet::journal::{EventKind, Subsystem, NO_ID};
 use prdma_simnet::metrics::{Counter, Gauge, Key, Window};
+use prdma_simnet::rng::SmallRng;
 use prdma_simnet::trace::{Phase, Role};
-use prdma_simnet::{channel, oneshot, OneshotSender, Receiver, Sender, SimDuration};
+use prdma_simnet::{channel, OneshotPool, OneshotSender, Receiver, Sender, SimDuration};
 
 use crate::flush::{FlushImpl, FlushOps};
 use crate::log::{
@@ -211,8 +212,20 @@ pub struct DurableClient {
     client_node: Node,
     lane: usize,
     retry: RetryPolicy,
+    /// Per-connection jitter stream for retry backoff: seeded from the
+    /// connection identity, advanced only when a retry actually sleeps —
+    /// a healthy run draws nothing, keeping its schedule byte-identical.
+    retry_rng: RefCell<SmallRng>,
     /// Pre-resolved fleet-metric handles, if metrics are enabled.
     metrics: Option<ClientMetrics>,
+    /// Per-connection recycler for the persist-ack waiter oneshot minted
+    /// on every receiver-initiated put: the channel resolves within the
+    /// RPC, so steady state reuses one heap cell instead of allocating
+    /// per operation.
+    ack_pool: OneshotPool<()>,
+    /// Per-connection recycler for the GET reply oneshot (same lifetime
+    /// argument as `ack_pool`, payload-typed).
+    reply_pool: OneshotPool<Payload>,
 }
 
 /// Per-connection metric handles, resolved once at build time so the
@@ -374,9 +387,12 @@ pub fn build_durable(
         get_qp: get_qp_client,
         shared: Rc::clone(&shared),
         metrics,
+        retry_rng: RefCell::new(RetryPolicy::jitter_rng(client.id.0 as u64, lane as u64)),
         client_node: client,
         lane,
         retry: cfg.retry,
+        ack_pool: OneshotPool::new(),
+        reply_pool: OneshotPool::new(),
     };
     let server_ep = DurableServer {
         node: server,
@@ -865,7 +881,7 @@ impl DurableClient {
         // Receiver-initiated kinds: register the persist-ack waiter before
         // anything can arrive.
         let ack_rx = if self.kind.is_receiver_initiated() {
-            let (tx, rx) = oneshot();
+            let (tx, rx) = self.ack_pool.oneshot();
             *self.shared.ack_waiter.borrow_mut() = Some(tx);
             self.shared.ack_after.set(self.shared.puts_logged.get() + 1);
             Some(rx)
@@ -950,7 +966,7 @@ impl DurableClient {
             .journal()
             .map_or(NO_ID, |j| j.next_rpc_id());
         self.jot_rpc(EventKind::RpcDispatch, rpc_id, GET_DESC_BYTES);
-        let (tx, rx) = oneshot();
+        let (tx, rx) = self.reply_pool.oneshot();
         if self.kind.is_send_based() {
             self.get_qp
                 .send(Payload::synthetic(GET_DESC_BYTES, obj))
@@ -1007,7 +1023,7 @@ impl DurableClient {
         }
         let k = items.len();
         let ack_rx = if self.kind.is_receiver_initiated() {
-            let (tx, rx) = oneshot();
+            let (tx, rx) = self.ack_pool.oneshot();
             *self.shared.ack_waiter.borrow_mut() = Some(tx);
             self.shared
                 .ack_after
@@ -1159,7 +1175,10 @@ impl DurableClient {
                 }
             }
             retries += 1;
-            h.sleep(self.retry.backoff).await;
+            let delay = self
+                .retry
+                .delay(retries - 1, &mut self.retry_rng.borrow_mut());
+            h.sleep(delay).await;
         };
         if let Some(m) = &self.metrics {
             m.inflight.add(-1);

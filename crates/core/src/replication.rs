@@ -36,6 +36,7 @@ use prdma_rnic::Payload;
 use prdma_simnet::fault::FaultKind;
 use prdma_simnet::journal::{EventKind, Subsystem, NO_ID};
 use prdma_simnet::metrics::Key;
+use prdma_simnet::rng::SmallRng;
 use prdma_simnet::SimHandle;
 
 use crate::durable::{build_durable, DurableClient, DurableConfig, DurableKind, DurableServer};
@@ -205,6 +206,10 @@ pub struct ReplicatedClient {
     /// per-replica sub-clients carry a short probe policy instead, so one
     /// crashed replica never stalls the whole fan-out for the full ride.
     retry: RetryPolicy,
+    /// Per-client jitter stream for round backoff (see
+    /// [`DurableClient`]'s `retry_rng`): drawn only when a round actually
+    /// backs off, so healthy schedules stay byte-identical.
+    retry_rng: RefCell<SmallRng>,
 }
 
 /// The server side of a replica group: per-replica durable servers plus
@@ -262,7 +267,7 @@ pub(crate) fn build_replicated_group(
     sub_cfg.retry = RetryPolicy {
         request_timeout: cfg.retry.request_timeout,
         max_retries: 1,
-        backoff: cfg.retry.backoff,
+        ..cfg.retry
     };
     if let Some(region) = store_region {
         sub_cfg.store_region = region;
@@ -286,6 +291,10 @@ pub(crate) fn build_replicated_group(
         state: Rc::clone(&state),
         handle: cluster.handle().clone(),
         retry: cfg.retry,
+        retry_rng: RefCell::new(RetryPolicy::jitter_rng(
+            client_idx as u64 ^ 0x5265706c, // distinct domain from sub-clients
+            lane_base as u64,
+        )),
     };
     let group = ReplicaGroup {
         servers,
@@ -489,7 +498,10 @@ impl ReplicatedClient {
             if rounds > self.retry.max_retries {
                 return Err(last_err);
             }
-            self.handle.sleep(self.retry.backoff).await;
+            let delay = self
+                .retry
+                .delay(rounds - 1, &mut self.retry_rng.borrow_mut());
+            self.handle.sleep(delay).await;
         }
     }
 
@@ -511,7 +523,10 @@ impl ReplicatedClient {
                     }
                 }
             }
-            self.handle.sleep(self.retry.backoff).await;
+            let delay = self
+                .retry
+                .delay(rounds.saturating_sub(1), &mut self.retry_rng.borrow_mut());
+            self.handle.sleep(delay).await;
         }
     }
 }
@@ -655,6 +670,8 @@ mod tests {
             request_timeout: prdma_simnet::SimDuration::from_micros(200),
             max_retries: 20,
             backoff: prdma_simnet::SimDuration::from_micros(50),
+            backoff_cap: prdma_simnet::SimDuration::from_micros(50),
+            jitter_pct: 0,
         };
         let (client, group) = build_replicated(&cluster, 2, &[0, 1], c);
         let backup = cluster.node(1).clone();

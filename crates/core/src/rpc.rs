@@ -5,6 +5,7 @@ use std::future::Future;
 use std::pin::Pin;
 
 use prdma_rnic::{Payload, RdmaError};
+use prdma_simnet::rng::SmallRng;
 use prdma_simnet::SimDuration;
 
 /// An application request.
@@ -99,11 +100,23 @@ impl std::fmt::Display for RpcError {
 }
 
 /// Client-side fault tolerance: per-request timeout plus bounded retry
-/// with a fixed backoff. The defaults are generous enough that a healthy
-/// run never trips them (the paper's durable RPCs complete in tens of
-/// microseconds) while still riding out a few-hundred-millisecond server
-/// restart: 64 retries spaced ~1 ms apart cover ~64 ms of deadness plus
-/// whatever [`RetryPolicy::request_timeout`] absorbs per attempt.
+/// with capped exponential backoff and seeded jitter. The defaults are
+/// generous enough that a healthy run never trips them (the paper's
+/// durable RPCs complete in tens of microseconds) while still riding out
+/// a few-hundred-millisecond server restart.
+///
+/// A flat delay re-synchronizes every client that observed the same
+/// fault: at open-loop scale, thousands of retries land on the
+/// recovering server in lock-step waves (a retry storm). Attempt `k`
+/// instead waits `backoff << k` (capped at `backoff_cap`), scaled by a
+/// uniform factor in `[1 - jitter_pct/100, 1]` drawn from the *caller's
+/// own* seeded [`SmallRng`] stream — never the shared simulation stream,
+/// so a healthy run's schedule (which draws no jitter) is byte-identical
+/// with and without the machinery, and a faulty run is reproducible per
+/// seed while distinct clients decorrelate.
+///
+/// Setting `backoff_cap == backoff` and `jitter_pct == 0` recovers the
+/// old flat schedule exactly (the pinned fault experiments do this).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Budget for a single attempt; an attempt still in flight at the
@@ -113,8 +126,13 @@ pub struct RetryPolicy {
     /// Attempts after the first before giving up with
     /// [`RpcError::TimedOut`].
     pub max_retries: u32,
-    /// Flat delay between attempts.
+    /// Delay before the first retry; doubles per attempt.
     pub backoff: SimDuration,
+    /// Ceiling for the exponential schedule.
+    pub backoff_cap: SimDuration,
+    /// Jitter as a percentage in `0..=100`: each delay is scaled by a
+    /// factor drawn uniformly from `[1 - jitter_pct/100, 1]`.
+    pub jitter_pct: u8,
 }
 
 impl Default for RetryPolicy {
@@ -123,7 +141,34 @@ impl Default for RetryPolicy {
             request_timeout: SimDuration::from_millis(10),
             max_retries: 64,
             backoff: SimDuration::from_millis(1),
+            backoff_cap: SimDuration::from_millis(16),
+            jitter_pct: 50,
         }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (0-based), jittered from
+    /// the caller's own deterministic stream.
+    pub fn delay(&self, attempt: u32, rng: &mut SmallRng) -> SimDuration {
+        let base = self.backoff.as_nanos().max(1);
+        let cap = self.backoff_cap.as_nanos().max(base);
+        let exp = base.saturating_mul(1u64 << attempt.min(20)).min(cap);
+        let pct = u64::from(self.jitter_pct.min(100));
+        if pct == 0 {
+            return SimDuration::from_nanos(exp);
+        }
+        let lo = exp - exp * pct / 100;
+        SimDuration::from_nanos(rng.gen_range(lo..=exp).max(1))
+    }
+
+    /// A deterministic per-connection jitter stream: seeded from stable
+    /// connection identity (client node, lane), independent of the shared
+    /// simulation stream so healthy schedules stay byte-identical.
+    pub fn jitter_rng(client_node: u64, lane: u64) -> SmallRng {
+        SmallRng::seed_from_u64(
+            0x9e3779b97f4a7c15u64 ^ client_node.rotate_left(32) ^ lane.wrapping_mul(0xd1342543),
+        )
     }
 }
 

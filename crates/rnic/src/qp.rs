@@ -20,7 +20,7 @@ use std::rc::Rc;
 use prdma_simnet::journal::{EventKind, Subsystem, NO_ID};
 use prdma_simnet::trace::{Phase, Span};
 use prdma_simnet::{
-    oneshot, FifoResource, Notify, OneshotReceiver, SharedLink, SimDuration, SimHandle,
+    oneshot, FifoResource, Notify, OneshotPool, OneshotReceiver, SharedLink, SimDuration, SimHandle,
 };
 
 use crate::config::RnicConfig;
@@ -160,6 +160,10 @@ struct QpInner {
     /// RPC id stamped onto the next posted verb's journal records
     /// ([`Qp::tag_rpc`]); consumed (reset to `NO_ID`) at verb entry.
     rpc_tag: Cell<u64>,
+    /// Per-connection recycler for the one [`PersistToken`] oneshot
+    /// every verb mints — at open-loop scale the dominant short-lived
+    /// allocation on the data path.
+    token_pool: OneshotPool<DmaOutcome>,
 }
 
 /// One endpoint of a connected queue pair.
@@ -192,6 +196,7 @@ pub fn connect(
             remote_ep: Rc::clone(&ep_b),
             sender_cpu: RefCell::new(None),
             rpc_tag: Cell::new(NO_ID),
+            token_pool: OneshotPool::new(),
         }),
     };
     let qb = Qp {
@@ -206,6 +211,7 @@ pub fn connect(
             remote_ep: ep_a,
             sender_cpu: RefCell::new(None),
             rpc_tag: Cell::new(NO_ID),
+            token_pool: OneshotPool::new(),
         }),
     };
     (qa, qb)
@@ -549,7 +555,7 @@ impl Qp {
 
         // Data is now staged in the remote RNIC's volatile SRAM.
         self.inner.remote.sram_admit(len);
-        let (tx, rx) = oneshot();
+        let (tx, rx) = self.inner.token_pool.oneshot();
         let ticket = self.inner.remote.begin_pending_dma();
         let remote = self.inner.remote.clone();
         let remote_ep = Rc::clone(&self.inner.remote_ep);

@@ -130,7 +130,12 @@ impl ReadyQueue {
         debug_assert_eq!(current_tid(), self.owner);
         // SAFETY: owner-thread access, non-reentrant (see above).
         let local = unsafe { &mut *self.local.get() };
-        if self.remote_pending.swap(false, Ordering::Acquire) {
+        // Plain load on the fast path: `pop` runs once per scheduling
+        // event, and an atomic swap is a locked RMW on x86 — only pay it
+        // when a cross-thread wake actually set the flag.
+        if self.remote_pending.load(Ordering::Acquire)
+            && self.remote_pending.swap(false, Ordering::Acquire)
+        {
             let mut remote = self.remote.lock().expect("ready queue poisoned");
             local.extend(remote.drain(..));
         }
@@ -398,25 +403,29 @@ impl Sim {
             return true;
         }
         // Ready queue empty: advance virtual time to the next live timer.
-        // Cancelled timers left stale index entries in the heap; skip them
-        // without advancing the clock.
-        loop {
-            let next = self.inner.timers.borrow_mut().pop();
-            let Some(Reverse(entry)) = next else {
-                return false;
-            };
-            let waker = self
-                .inner
-                .timer_slab
-                .borrow_mut()
-                .take(entry.slot, entry.seq);
-            if let Some(w) = waker {
-                debug_assert!(entry.at >= self.inner.now.get(), "timer in the past");
-                self.inner.now.set(entry.at.max(self.inner.now.get()));
-                w.wake();
-                return true;
+        // Cancelled timers left stale index entries in the heap; skip the
+        // whole stale run under one borrow of the heap and slab instead of
+        // re-borrowing per entry (a timeout-heavy run cancels most of its
+        // timers, so the stale run is the common case there).
+        let fired = {
+            let mut timers = self.inner.timers.borrow_mut();
+            let mut slab = self.inner.timer_slab.borrow_mut();
+            loop {
+                let Some(Reverse(entry)) = timers.pop() else {
+                    break None;
+                };
+                if let Some(w) = slab.take(entry.slot, entry.seq) {
+                    break Some((entry.at, w));
+                }
             }
-        }
+        };
+        let Some((at, w)) = fired else {
+            return false;
+        };
+        debug_assert!(at >= self.inner.now.get(), "timer in the past");
+        self.inner.now.set(at.max(self.inner.now.get()));
+        w.wake();
+        true
     }
 
     fn poll_task(&mut self, id: usize) {

@@ -62,7 +62,8 @@ mod time;
 pub mod trace;
 
 pub use channel::{
-    channel, oneshot, OneshotReceiver, OneshotSender, Receiver, Recv, SendError, Sender,
+    channel, oneshot, OneshotPool, OneshotReceiver, OneshotSender, Receiver, Recv, RecvAll,
+    RecvMany, SendError, Sender,
 };
 pub use combinator::{select2, timeout, Either, Elapsed, Timeout};
 pub use executor::{JoinHandle, Sim, SimHandle, Sleep, YieldNow};

@@ -143,9 +143,14 @@ impl Future for Acquire {
                         count,
                     });
                 }
-                // Refresh the stored waker.
+                // Refresh the stored waker (skip the clone when the parked
+                // waker would already wake this task — the executor reuses
+                // per-slot wakers, so this is the common case).
                 if let Some(entry) = st.waiters.iter_mut().find(|(wid, _, _)| *wid == id) {
-                    entry.2 = Some(cx.waker().clone());
+                    match &entry.2 {
+                        Some(w) if w.will_wake(cx.waker()) => {}
+                        _ => entry.2 = Some(cx.waker().clone()),
+                    }
                 }
                 Poll::Pending
             }
@@ -265,7 +270,9 @@ impl Future for Notified {
         match this.id {
             Some(id) => {
                 if let Some(entry) = st.waiters.iter_mut().find(|(wid, _)| *wid == id) {
-                    entry.1 = cx.waker().clone();
+                    if !entry.1.will_wake(cx.waker()) {
+                        entry.1 = cx.waker().clone();
+                    }
                 } else {
                     st.waiters.push_back((id, cx.waker().clone()));
                 }

@@ -10,6 +10,9 @@
 //!   paper's dataset shapes, and PageRank fetching graph data over RPC.
 //! * [`faults`] — the failure-recovery experiment: availability sweeps,
 //!   unikernel restart latency, and the redo-log-vs-re-send comparison.
+//! * [`openloop`] — open-loop load generation: Poisson/bursty arrival
+//!   schedules over a 10⁴–10⁶ logical-client pool multiplexed onto
+//!   bounded endpoint futures, latency from scheduled arrival.
 //! * [`dist`] — zipfian / latest / uniform key distributions.
 
 #![warn(missing_docs)]
@@ -19,6 +22,7 @@ pub mod faults;
 pub mod graph;
 pub mod kv;
 pub mod micro;
+pub mod openloop;
 pub mod pagerank;
 pub mod ycsb;
 
@@ -27,5 +31,9 @@ pub use faults::{run_faulty, FaultConfig, FaultResult, MeasuredCosts, Scheme};
 pub use graph::{generate, generate_power_law, Graph, GraphDataset};
 pub use kv::KvIndex;
 pub use micro::{run_micro, run_micro_merged, MicroConfig, RunResult};
+pub use openloop::{
+    detect_knee, gen_schedule, run_openloop, Arrival, OpenLoopConfig, OpenLoopResult, RateShape,
+    SkewShift,
+};
 pub use pagerank::{run_pagerank, PageRankConfig, PageRankResult};
 pub use ycsb::{run_ycsb, YcsbConfig, YcsbWorkload};

@@ -1,0 +1,577 @@
+//! Open-loop load generation: arrivals fire on a wall-clock schedule
+//! whether or not earlier requests have finished, so queueing delay is
+//! *measured* instead of silently throttled away (the closed-loop
+//! coordinated-omission bug). A seeded Poisson process — optionally
+//! ramped, diurnal, or bursty — is thinned from the peak rate, each
+//! arrival is stamped with a logical client id drawn from a pool of
+//! 10⁴–10⁶ simulated clients, and the pool is multiplexed over a small
+//! bounded set of in-flight endpoint futures (one per physical client
+//! connection). Latency is measured from the *scheduled* arrival
+//! instant to completion, so a saturated service shows its backlog as
+//! tail latency — the knee the `fig_openloop` sweep walks.
+
+use std::collections::VecDeque;
+
+use prdma::{Request, RpcClient};
+use prdma_rnic::Payload;
+use prdma_simnet::{channel, Histogram, SimDuration, SimHandle, SimTime, Summary};
+
+use crate::dist::{workload_rng, Zipfian};
+
+/// The offered-rate envelope over the run, normalized so the *mean*
+/// rate equals [`OpenLoopConfig::rate_ops_per_sec`] regardless of
+/// shape (a sweep point means the same aggregate work whatever the
+/// envelope looks like).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RateShape {
+    /// Flat Poisson arrivals at the configured rate.
+    Constant,
+    /// Linear ramp from `2/(1+to)` to `2·to/(1+to)` of the mean — e.g.
+    /// `to = 3.0` triples the instantaneous rate across the run.
+    Ramp {
+        /// End-of-run rate as a multiple of the start-of-run rate.
+        to: f64,
+    },
+    /// One sinusoidal day: peak at the start and end, trough mid-run.
+    Diurnal {
+        /// Trough rate as a fraction of the peak rate, in `(0, 1]`.
+        trough: f64,
+    },
+    /// Square-wave bursts: `duty_pct`% of each period at `factor`× the
+    /// off-rate (off-rate scaled so the mean stays at the configured
+    /// rate).
+    Bursty {
+        /// On-burst rate as a multiple of the off-burst rate (> 1).
+        factor: f64,
+        /// Burst period as a fraction of the run duration, in `(0, 1]`.
+        period_frac: f64,
+        /// Percentage of each period spent bursting, in `1..=99`.
+        duty_pct: u8,
+    },
+}
+
+impl RateShape {
+    /// Instantaneous rate multiplier at normalized time `x ∈ [0, 1)`,
+    /// scaled so the multiplier's mean over the run is 1.
+    pub fn factor(&self, x: f64) -> f64 {
+        match *self {
+            RateShape::Constant => 1.0,
+            RateShape::Ramp { to } => {
+                let to = to.max(1e-6);
+                2.0 * (1.0 + (to - 1.0) * x) / (1.0 + to)
+            }
+            RateShape::Diurnal { trough } => {
+                let trough = trough.clamp(1e-6, 1.0);
+                let mid = (1.0 + trough) / 2.0;
+                let amp = (1.0 - trough) / 2.0;
+                1.0 + (amp / mid) * (2.0 * std::f64::consts::PI * x).cos()
+            }
+            RateShape::Bursty {
+                factor,
+                period_frac,
+                duty_pct,
+            } => {
+                let d = f64::from(duty_pct.clamp(1, 99)) / 100.0;
+                let f = factor.max(1.0);
+                // off-rate o solves d·f·o + (1−d)·o = 1.
+                let off = 1.0 / (d * f + (1.0 - d));
+                let phase = (x / period_frac.clamp(1e-6, 1.0)).fract();
+                if phase < d {
+                    f * off
+                } else {
+                    off
+                }
+            }
+        }
+    }
+
+    /// Maximum of [`factor`](RateShape::factor) over the run — the
+    /// thinning envelope for Lewis–Shedler sampling.
+    pub fn peak(&self) -> f64 {
+        match *self {
+            RateShape::Constant => 1.0,
+            RateShape::Ramp { to } => {
+                let to = to.max(1e-6);
+                2.0 * to.max(1.0) / (1.0 + to)
+            }
+            RateShape::Diurnal { trough } => {
+                let trough = trough.clamp(1e-6, 1.0);
+                2.0 / (1.0 + trough)
+            }
+            RateShape::Bursty {
+                factor, duty_pct, ..
+            } => {
+                let d = f64::from(duty_pct.clamp(1, 99)) / 100.0;
+                let f = factor.max(1.0);
+                f / (d * f + (1.0 - d))
+            }
+        }
+    }
+}
+
+/// A mid-run change of zipfian skew (hot-set migration): from
+/// [`OpenLoopConfig::theta`] to `theta` at `at_frac` of the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewShift {
+    /// When the shift lands, as a fraction of the run duration.
+    pub at_frac: f64,
+    /// Skew after the shift.
+    pub theta: f64,
+}
+
+/// Open-loop generator parameters.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Logical clients in the pool (the paper's target scale is
+    /// 10⁴–10⁶). Each arrival belongs to one logical client; a logical
+    /// client's requests are serialized through one endpoint.
+    pub clients: u64,
+    /// Mean aggregate offered load, operations per simulated second.
+    pub rate_ops_per_sec: f64,
+    /// Run length in simulated time.
+    pub duration: SimDuration,
+    /// Offered-rate envelope.
+    pub shape: RateShape,
+    /// Objects in the store.
+    pub objects: u64,
+    /// Object size in bytes.
+    pub object_size: u64,
+    /// Fraction of reads.
+    pub read_ratio: f64,
+    /// Zipfian skew of the key distribution, in `[0, 1)`.
+    pub theta: f64,
+    /// Optional mid-run skew shift.
+    pub skew_shift: Option<SkewShift>,
+    /// Schedule RNG seed (independent of the simulator's stream).
+    pub seed: u64,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            clients: 10_000,
+            rate_ops_per_sec: 100_000.0,
+            duration: SimDuration::from_millis(20),
+            shape: RateShape::Constant,
+            objects: 50_000,
+            object_size: 1024,
+            read_ratio: 0.5,
+            theta: 0.99,
+            skew_shift: None,
+            seed: 20211114,
+        }
+    }
+}
+
+/// One scheduled request: everything about it is fixed at schedule
+/// time, so the arrival stream is a pure function of the config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Offset from run start, nanoseconds.
+    pub at_ns: u64,
+    /// Logical client issuing this request.
+    pub client: u64,
+    /// Target object.
+    pub obj: u64,
+    /// Read (`Get`) or write (`Put`).
+    pub is_read: bool,
+}
+
+/// Generate the full arrival schedule: a Poisson process at the peak
+/// rate, thinned to the shape's instantaneous rate (Lewis–Shedler),
+/// each accepted arrival stamped with a logical client, a key, and an
+/// op type. Deterministic: same config ⇒ byte-identical schedule.
+pub fn gen_schedule(cfg: &OpenLoopConfig) -> Vec<Arrival> {
+    assert!(cfg.clients > 0, "empty client pool");
+    assert!(cfg.rate_ops_per_sec > 0.0, "non-positive offered rate");
+    let mut rng = workload_rng(cfg.seed ^ 0x4f70_656e_4c6f_6f70); // "OpenLoop"
+    let dur_s = cfg.duration.as_secs_f64();
+    let peak_rate = cfg.rate_ops_per_sec * cfg.shape.peak();
+    let zipf = Zipfian::new(cfg.objects, cfg.theta);
+    let shifted_zipf = cfg.skew_shift.map(|s| Zipfian::new(cfg.objects, s.theta));
+    let mut out = Vec::with_capacity((cfg.rate_ops_per_sec * dur_s) as usize + 16);
+    let mut t = 0.0f64;
+    loop {
+        // Exponential inter-arrival at the peak rate; gen() ∈ [0, 1),
+        // so ln(1 − u) is finite.
+        let u: f64 = rng.gen();
+        t += -(1.0 - u).ln() / peak_rate;
+        if t >= dur_s {
+            break;
+        }
+        let x = t / dur_s;
+        // Thin: keep with probability factor(x)/peak.
+        if rng.gen::<f64>() * cfg.shape.peak() > cfg.shape.factor(x) {
+            continue;
+        }
+        let z = match (&shifted_zipf, cfg.skew_shift) {
+            (Some(z), Some(s)) if x >= s.at_frac => z,
+            _ => &zipf,
+        };
+        out.push(Arrival {
+            at_ns: (t * 1e9) as u64,
+            client: rng.gen_range(0..cfg.clients),
+            obj: z.sample(&mut rng),
+            is_read: rng.gen::<f64>() < cfg.read_ratio,
+        });
+    }
+    out
+}
+
+/// Results of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopResult {
+    /// Configured mean offered load (KOPS).
+    pub offered_kops: f64,
+    /// Scheduled arrivals.
+    pub arrivals: u64,
+    /// Completed operations.
+    pub ops: u64,
+    /// Failed operations (transport/RPC errors after retries).
+    pub failed: u64,
+    /// Unsupported operations.
+    pub unsupported: u64,
+    /// Achieved throughput (KOPS over the drain-inclusive elapsed time).
+    pub kops: f64,
+    /// Latency from *scheduled arrival* to completion — includes the
+    /// admission-queue wait, which is the whole point of open loop.
+    pub latency: Summary,
+    /// Simulated time from run start to last completion.
+    pub elapsed: SimDuration,
+}
+
+/// Drive the schedule against a pool of `endpoints` (one per physical
+/// client connection). Logical client `c` is pinned to endpoint
+/// `c % K`, so each logical client's requests stay ordered while 10⁴+
+/// clients multiplex over K bounded in-flight futures. The generator
+/// task releases arrivals at their scheduled instants into per-endpoint
+/// admission channels ([`channel`] — same-instant bursts go out as one
+/// batched send); each endpoint worker drains its queue one request at
+/// a time and records completion against the *scheduled* arrival time.
+pub async fn run_openloop(
+    endpoints: Vec<Box<dyn RpcClient>>,
+    h: &SimHandle,
+    cfg: &OpenLoopConfig,
+) -> OpenLoopResult {
+    assert!(!endpoints.is_empty(), "need at least one endpoint");
+    let schedule = gen_schedule(cfg);
+    let arrivals = schedule.len() as u64;
+    let k = endpoints.len();
+    let t0 = h.now();
+
+    let mut txs = Vec::with_capacity(k);
+    let mut joins = Vec::with_capacity(k);
+    for endpoint in endpoints {
+        let (tx, mut rx) = channel::<(SimTime, Arrival)>();
+        txs.push(tx);
+        let h2 = h.clone();
+        let object_size = cfg.object_size;
+        joins.push(h.spawn(async move {
+            let mut hist = Histogram::new();
+            let mut done = 0u64;
+            let mut failed = 0u64;
+            let mut unsupported = 0u64;
+            let mut q = VecDeque::new();
+            loop {
+                if q.is_empty() && rx.recv_all(&mut q).await == 0 {
+                    break;
+                }
+                let (sched, arr) = q.pop_front().expect("non-empty after recv_all");
+                let req = if arr.is_read {
+                    Request::Get {
+                        obj: arr.obj,
+                        len: object_size,
+                    }
+                } else {
+                    Request::Put {
+                        obj: arr.obj,
+                        data: Payload::synthetic(object_size, arr.client ^ arr.obj),
+                    }
+                };
+                match endpoint.call(req).await {
+                    Ok(_) => {
+                        hist.record_duration(h2.now() - sched);
+                        done += 1;
+                    }
+                    Err(prdma::RpcError::Unsupported(_)) => unsupported += 1,
+                    Err(_) => failed += 1,
+                }
+            }
+            (done, failed, unsupported, hist)
+        }));
+    }
+
+    // Generator: release each arrival at its scheduled instant. A run
+    // of same-instant arrivals (bursty shapes produce them) is released
+    // as one batch per endpoint — one wake per endpoint per instant.
+    let mut i = 0usize;
+    let mut batch: Vec<Vec<(SimTime, Arrival)>> = (0..k).map(|_| Vec::new()).collect();
+    while i < schedule.len() {
+        let due = t0 + SimDuration::from_nanos(schedule[i].at_ns);
+        if h.now() < due {
+            h.sleep_until(due).await;
+        }
+        let mut j = i;
+        while j < schedule.len() && schedule[j].at_ns == schedule[i].at_ns {
+            let arr = schedule[j];
+            batch[(arr.client % k as u64) as usize].push((due, arr));
+            j += 1;
+        }
+        for (tx, b) in txs.iter().zip(batch.iter_mut()) {
+            if !b.is_empty() {
+                let _ = tx.send_batch(b.drain(..));
+            }
+        }
+        i = j;
+    }
+    drop(txs);
+
+    let mut merged = Histogram::new();
+    let mut ops = 0;
+    let mut failed = 0;
+    let mut unsupported = 0;
+    for j in joins {
+        let (o, f, u, hist) = j.await;
+        ops += o;
+        failed += f;
+        unsupported += u;
+        merged.merge(&hist);
+    }
+    let elapsed = h.now() - t0;
+    let kops = if elapsed > SimDuration::ZERO {
+        ops as f64 / elapsed.as_secs_f64() / 1e3
+    } else {
+        0.0
+    };
+    OpenLoopResult {
+        offered_kops: cfg.rate_ops_per_sec / 1e3,
+        arrivals,
+        ops,
+        failed,
+        unsupported,
+        kops,
+        latency: merged.summary(),
+        elapsed,
+    }
+}
+
+/// Find the knee of a latency-vs-load curve: the highest offered load
+/// whose p99 stays within `tolerance`× the lightest point's p99.
+/// `points` is `(offered, p99)` sorted by offered load; returns the
+/// knee's offered load, or `None` when even the lightest point has no
+/// samples (p99 of 0).
+pub fn detect_knee(points: &[(f64, f64)], tolerance: f64) -> Option<f64> {
+    let (_, base) = *points.first()?;
+    if base <= 0.0 {
+        return None;
+    }
+    points
+        .iter()
+        .take_while(|&&(_, p99)| p99 <= base * tolerance)
+        .map(|&(offered, _)| offered)
+        .last()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prdma::ServerProfile;
+    use prdma_baselines::{build_system, SystemKind, SystemOpts};
+    use prdma_node::{Cluster, ClusterConfig};
+    use prdma_simnet::Sim;
+
+    fn quick_cfg() -> OpenLoopConfig {
+        OpenLoopConfig {
+            clients: 10_000,
+            rate_ops_per_sec: 50_000.0,
+            duration: SimDuration::from_millis(5),
+            objects: 500,
+            object_size: 256,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn shapes_average_to_one() {
+        // The normalization contract: whatever the envelope, its mean
+        // multiplier over the run is 1 (so sweeping shapes at one rate
+        // offers the same total work).
+        let shapes = [
+            RateShape::Constant,
+            RateShape::Ramp { to: 3.0 },
+            RateShape::Diurnal { trough: 0.25 },
+            RateShape::Bursty {
+                factor: 4.0,
+                period_frac: 0.1,
+                duty_pct: 25,
+            },
+        ];
+        for shape in shapes {
+            let n = 100_000;
+            let mean: f64 = (0..n)
+                .map(|i| shape.factor((i as f64 + 0.5) / n as f64))
+                .sum::<f64>()
+                / n as f64;
+            assert!(
+                (mean - 1.0).abs() < 0.01,
+                "{shape:?}: mean multiplier {mean}"
+            );
+            assert!(
+                shape.peak() >= 1.0 - 1e-9,
+                "{shape:?}: peak {}",
+                shape.peak()
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_hits_the_offered_rate() {
+        for shape in [
+            RateShape::Constant,
+            RateShape::Ramp { to: 2.0 },
+            RateShape::Bursty {
+                factor: 5.0,
+                period_frac: 0.2,
+                duty_pct: 20,
+            },
+        ] {
+            let cfg = OpenLoopConfig {
+                rate_ops_per_sec: 200_000.0,
+                duration: SimDuration::from_millis(50),
+                shape,
+                ..quick_cfg()
+            };
+            let s = gen_schedule(&cfg);
+            let expect = cfg.rate_ops_per_sec * cfg.duration.as_secs_f64();
+            let got = s.len() as f64;
+            assert!(
+                (got - expect).abs() < expect * 0.1,
+                "{shape:?}: {got} arrivals, expected ~{expect}"
+            );
+            assert!(s.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        }
+    }
+
+    #[test]
+    fn ramp_shifts_arrival_mass_late() {
+        let cfg = OpenLoopConfig {
+            shape: RateShape::Ramp { to: 4.0 },
+            rate_ops_per_sec: 400_000.0,
+            ..quick_cfg()
+        };
+        let s = gen_schedule(&cfg);
+        let half = cfg.duration.as_nanos() / 2;
+        let late = s.iter().filter(|a| a.at_ns >= half).count();
+        // Mean multiplier 1 with a 1:4 ramp ⇒ ~65% of mass after t/2.
+        assert!(
+            late * 10 > s.len() * 6,
+            "only {late}/{} arrivals in the second half",
+            s.len()
+        );
+    }
+
+    #[test]
+    fn skew_shift_changes_the_hot_set_mid_run() {
+        let cfg = OpenLoopConfig {
+            theta: 0.99,
+            skew_shift: Some(SkewShift {
+                at_frac: 0.5,
+                theta: 0.0,
+            }),
+            rate_ops_per_sec: 400_000.0,
+            objects: 10_000,
+            ..quick_cfg()
+        };
+        let s = gen_schedule(&cfg);
+        let half = cfg.duration.as_nanos() / 2;
+        let head_frac = |arrs: &[&Arrival]| {
+            arrs.iter().filter(|a| a.obj < 100).count() as f64 / arrs.len().max(1) as f64
+        };
+        let early: Vec<&Arrival> = s.iter().filter(|a| a.at_ns < half).collect();
+        let late: Vec<&Arrival> = s.iter().filter(|a| a.at_ns >= half).collect();
+        // theta 0.99 concentrates on the head; theta 0 is uniform.
+        assert!(head_frac(&early) > 0.3, "early head {}", head_frac(&early));
+        assert!(head_frac(&late) < 0.1, "late head {}", head_frac(&late));
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_seed_sensitive() {
+        let cfg = quick_cfg();
+        assert_eq!(gen_schedule(&cfg), gen_schedule(&cfg));
+        let other = OpenLoopConfig {
+            seed: cfg.seed + 1,
+            ..cfg
+        };
+        assert_ne!(gen_schedule(&cfg), gen_schedule(&other));
+    }
+
+    #[test]
+    fn pool_multiplexes_logical_clients_over_endpoints() {
+        let mut sim = Sim::new(9);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(4));
+        let opts = SystemOpts::for_object_size(256, ServerProfile::light());
+        let endpoints: Vec<Box<dyn prdma::RpcClient>> = (1..4)
+            .map(|i| build_system(&cluster, SystemKind::WFlush, i, 0, i, &opts))
+            .collect();
+        let cfg = OpenLoopConfig {
+            rate_ops_per_sec: 20_000.0,
+            duration: SimDuration::from_millis(2),
+            ..quick_cfg()
+        };
+        let h = sim.handle();
+        let r = sim.block_on(async move { run_openloop(endpoints, &h, &cfg).await });
+        assert!(r.arrivals > 0);
+        assert_eq!(r.ops, r.arrivals, "light load: every arrival completes");
+        assert_eq!(r.failed + r.unsupported, 0);
+        assert!(r.latency.p50_ns > 0);
+        assert!(r.latency.p999_ns >= r.latency.p99_ns);
+    }
+
+    #[test]
+    fn open_loop_latency_includes_queueing_under_overload() {
+        // One endpoint, offered load far above one connection's service
+        // rate: a closed loop would hide the backlog (coordinated
+        // omission); the open loop must report it as tail latency that
+        // dwarfs the unloaded p50.
+        let run = |rate: f64| {
+            let mut sim = Sim::new(10);
+            let cluster = Cluster::new(sim.handle(), ClusterConfig::with_nodes(2));
+            let opts = SystemOpts::for_object_size(256, ServerProfile::light());
+            let endpoints = vec![build_system(&cluster, SystemKind::WFlush, 1, 0, 0, &opts)];
+            let cfg = OpenLoopConfig {
+                rate_ops_per_sec: rate,
+                duration: SimDuration::from_millis(2),
+                ..quick_cfg()
+            };
+            let h = sim.handle();
+            sim.block_on(async move { run_openloop(endpoints, &h, &cfg).await })
+        };
+        let light = run(5_000.0);
+        let heavy = run(400_000.0);
+        assert!(
+            heavy.latency.p99_ns > light.latency.p99_ns * 10,
+            "overload p99 {} vs light p99 {}",
+            heavy.latency.p99_ns,
+            light.latency.p99_ns
+        );
+        assert!(
+            heavy.elapsed > SimDuration::from_millis(2),
+            "drain extends past the schedule"
+        );
+    }
+
+    #[test]
+    fn knee_detection_picks_the_last_flat_point() {
+        let curve = [
+            (25.0, 100.0),
+            (50.0, 110.0),
+            (100.0, 160.0),
+            (200.0, 900.0),
+            (400.0, 4000.0),
+        ];
+        assert_eq!(detect_knee(&curve, 3.0), Some(100.0));
+        assert_eq!(detect_knee(&curve[..1], 3.0), Some(25.0));
+        assert_eq!(detect_knee(&[], 3.0), None);
+        assert_eq!(detect_knee(&[(25.0, 0.0)], 3.0), None);
+    }
+}

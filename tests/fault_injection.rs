@@ -22,7 +22,10 @@ fn fast_retry() -> RetryPolicy {
     RetryPolicy {
         request_timeout: SimDuration::from_micros(300),
         max_retries: 200,
+        // Flat schedule: these tests pin journal bytes per seed.
         backoff: SimDuration::from_micros(100),
+        backoff_cap: SimDuration::from_micros(100),
+        jitter_pct: 0,
     }
 }
 
@@ -265,6 +268,8 @@ fn crash_straddling_send_does_not_wedge_the_recv_ring() {
                 request_timeout: SimDuration::from_micros(200),
                 max_retries: 300,
                 backoff: SimDuration::from_micros(100),
+                backoff_cap: SimDuration::from_micros(100),
+                jitter_pct: 0,
             },
             ..DurableConfig::for_kind(kind)
         };

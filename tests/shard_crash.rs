@@ -27,7 +27,10 @@ fn fast_retry() -> RetryPolicy {
     RetryPolicy {
         request_timeout: SimDuration::from_micros(300),
         max_retries: 200,
+        // Flat schedule: these tests pin journal bytes per seed.
         backoff: SimDuration::from_micros(100),
+        backoff_cap: SimDuration::from_micros(100),
+        jitter_pct: 0,
     }
 }
 
