@@ -1,0 +1,11 @@
+//! Hot-key lease cache + one-sided READ fast path vs durable RPC and HERD.
+//! Run: cargo bench --bench fig_cache
+//! Flags after `--`: `--journal` runs every point under the durability
+//! auditor (invariant I5); env `PRDMA_CACHE_GATE=1` turns the crossover
+//! and write-noise acceptance bounds into assertions.
+use prdma_bench::{emit_all, exp, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    emit_all(exp::fig_cache(scale));
+}

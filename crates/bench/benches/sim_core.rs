@@ -16,10 +16,14 @@
 //! wall time of every fig sweep at smoke scale under the current
 //! `PRDMA_PAR`, so the perf trajectory has machine-readable data points.
 
-use prdma::{encode_entry, OpCode, RpcOperator};
+use prdma::{
+    build_sharded_durable_cached, encode_entry, CacheConfig, DurableConfig, DurableKind, OpCode,
+    Request, RpcClient, RpcOperator, ServerProfile, ShardMap,
+};
 use prdma_bench::exp;
 use prdma_bench::report::output_dir;
 use prdma_bench::Scale;
+use prdma_node::{Cluster, ClusterConfig};
 use prdma_rnic::Payload;
 use prdma_simnet::metrics::{Key, Metrics};
 use prdma_simnet::{channel, timeout, Histogram, Sim, SimDuration};
@@ -218,6 +222,55 @@ fn bench_log_encode(iters: u32) -> BenchResult {
     })
 }
 
+fn bench_cached_get(iters: u32) -> BenchResult {
+    // The GET hot path the lease cache added: one warm key served from
+    // the client-side cache 10k times — lease-epoch validation, LRU
+    // touch, and a CPU poll per hit, with no RPC and no QP traffic.
+    // Guards the per-hit overhead of the cache machinery itself.
+    bench("cache/get_hot_path_10k", 10_000, iters, || {
+        let mut sim = Sim::new(1);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::with_servers(1, 1));
+        let cfg = DurableConfig {
+            kind: DurableKind::WFlush,
+            profile: ServerProfile::light(),
+            slot_payload: 1024,
+            object_slot: 1024,
+            store_capacity: 1 << 20,
+            log_slots: 64,
+            ..Default::default()
+        };
+        let cache = CacheConfig {
+            hot_threshold: 1,
+            mirror: false,
+            ..Default::default()
+        };
+        let (svc, _leases) =
+            build_sharded_durable_cached(&cluster, ShardMap::new(1), &[1], &cfg, &cache);
+        let client = svc.clients.into_iter().next().expect("one client");
+        let sum = sim.block_on(async move {
+            client
+                .call(Request::Put {
+                    obj: 1,
+                    data: Payload::synthetic(1024, 1),
+                })
+                .await
+                .expect("seed put");
+            // First get fills the entry; the timed loop then runs the
+            // pure hit path.
+            let mut sum = 0u64;
+            for _ in 0..10_000u64 {
+                let r = client
+                    .call(Request::Get { obj: 1, len: 1024 })
+                    .await
+                    .expect("cached get");
+                sum = sum.wrapping_add(r.payload.map_or(0, |p| p.len()));
+            }
+            sum
+        });
+        (sum, sim.events_processed())
+    })
+}
+
 /// Time every fig sweep at smoke scale under the current `PRDMA_PAR`.
 fn time_figs() -> Vec<(&'static str, f64)> {
     let s = Scale::smoke();
@@ -296,6 +349,7 @@ fn main() {
         bench_histogram(iters),
         bench_metrics(iters),
         bench_log_encode(iters),
+        bench_cached_get(iters),
     ];
     let figs = if smoke { Vec::new() } else { time_figs() };
     write_json(&micro, &figs);
@@ -324,6 +378,28 @@ fn main() {
              ({:.1}x over pinned pre-rewrite)",
             chan.ns_per_iter,
             PINNED_PRE_REWRITE_NS / chan.ns_per_iter
+        );
+        // The cache tentpole's GET hot path: 10k hits against one warm
+        // key measure ~3 ms/iter (~300 ns/hit) at pinning time; the
+        // ceiling leaves ~4x headroom for shared-runner noise while
+        // still catching an accidental RPC (or QP round trip) sneaking
+        // back into the hit path, which would cost 100x.
+        const CACHED_GET_CEILING_NS: f64 = 12_000_000.0;
+        let hit = micro
+            .iter()
+            .find(|b| b.name == "cache/get_hot_path_10k")
+            .expect("cached GET bench ran");
+        assert!(
+            hit.ns_per_iter <= CACHED_GET_CEILING_NS,
+            "perf gate: cache/get_hot_path_10k at {:.0} ns/iter exceeds the pinned \
+             ceiling {CACHED_GET_CEILING_NS:.0} ns/iter",
+            hit.ns_per_iter
+        );
+        println!(
+            "perf gate OK: cache/get_hot_path_10k {:.0} ns/iter <= {CACHED_GET_CEILING_NS:.0} \
+             ({:.0} ns/hit)",
+            hit.ns_per_iter,
+            hit.ns_per_iter / 10_000.0
         );
     }
 }

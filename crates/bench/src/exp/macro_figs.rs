@@ -1,7 +1,10 @@
 //! Macro-benchmark figures: PageRank (Fig. 10), YCSB (Fig. 11), failure
 //! recovery (Fig. 12), and the latency breakdown (Fig. 20).
 
-use prdma::ServerProfile;
+use prdma::{
+    build_sharded_durable_cached, CacheConfig, DurableConfig, DurableKind, RpcClient,
+    ServerProfile, ShardMap,
+};
 use prdma_baselines::{build_system, SystemKind, SystemOpts};
 use prdma_node::{Cluster, ClusterConfig};
 use prdma_simnet::{Sim, SimDuration};
@@ -9,10 +12,12 @@ use prdma_workloads::faults::{run_faulty, FaultConfig, MeasuredCosts, Scheme};
 use prdma_workloads::graph::{generate, GraphDataset};
 use prdma_workloads::micro::MicroConfig;
 use prdma_workloads::pagerank::{run_pagerank, PageRankConfig};
-use prdma_workloads::ycsb::{YcsbConfig, YcsbWorkload};
+use prdma_workloads::ycsb::{run_ycsb, YcsbConfig, YcsbWorkload};
 
 use crate::report::{us, Table};
-use crate::runner::{micro_run, par_map, ycsb_run, ExpEnv, Scale};
+use crate::runner::{
+    export_and_audit, journal_enabled, metrics_enabled, micro_run, par_map, ycsb_run, ExpEnv, Scale,
+};
 
 /// Fig. 10: PageRank execution time per dataset per system.
 pub fn fig10(scale: Scale) -> Vec<Table> {
@@ -94,7 +99,60 @@ pub fn fig11(scale: Scale) -> Vec<Table> {
         row.extend(cells.by_ref().take(YcsbWorkload::ALL.len()));
         t.row(row);
     }
+    // The cached durable kind on the read-heavy mixes: the lease cache
+    // only pays off where reads dominate, so the row fills B (95% reads)
+    // and C (read-only) and leaves the write-heavy mixes dashed.
+    let cached = par_map(vec![YcsbWorkload::B, YcsbWorkload::C], |w| {
+        ycsb_cached_cell(w, scale)
+    });
+    t.row(vec![
+        "WFlush-RPC+cache".to_string(),
+        "-".to_string(),
+        cached[0].clone(),
+        cached[1].clone(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
     vec![t]
+}
+
+/// One fig11 cell for WFlush-RPC fronted by the hot-key lease cache:
+/// a single-shard cached durable service under the given YCSB mix.
+fn ycsb_cached_cell(w: YcsbWorkload, scale: Scale) -> String {
+    let mut sim = Sim::new(20211114);
+    let mut ccfg = ClusterConfig::with_servers(1, 1);
+    ccfg.journal = journal_enabled();
+    ccfg.metrics = metrics_enabled();
+    let cluster = Cluster::new(sim.handle(), ccfg);
+    let map = ShardMap::new(1);
+    let dcfg = DurableConfig {
+        kind: DurableKind::WFlush,
+        profile: ServerProfile::light(),
+        slot_payload: 4096,
+        object_slot: 4096,
+        store_capacity: map.local_span(scale.objects) * 4096,
+        log_slots: 256,
+        ..Default::default()
+    };
+    let cache = CacheConfig {
+        hot_threshold: 1,
+        churn_demote: 4,
+        ..Default::default()
+    };
+    let (svc, _leases) = build_sharded_durable_cached(&cluster, map, &[1], &dcfg, &cache);
+    let client: Box<dyn RpcClient> = Box::new(svc.clients.into_iter().next().expect("one client"));
+    let cfg = YcsbConfig {
+        records: scale.objects,
+        ops: scale.ycsb_ops,
+        workload: w,
+        ..Default::default()
+    };
+    let h = sim.handle();
+    let run = sim.block_on(async move { run_ycsb(client.as_ref(), &h, &cfg).await });
+    sim.run();
+    export_and_audit(&cluster, &format!("ycsb_cache_{w:?}"));
+    us(run.latency.mean_us())
 }
 
 /// Fig. 12: total execution time under failures, durable RPCs normalized

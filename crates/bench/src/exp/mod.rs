@@ -1,5 +1,6 @@
 //! Experiment implementations, one function per paper figure/table.
 
+pub mod cache_fig;
 pub mod fault_insim;
 pub mod macro_figs;
 pub mod micro_figs;
@@ -8,6 +9,7 @@ pub mod openloop;
 pub mod scaleout;
 pub mod summary;
 
+pub use cache_fig::fig_cache;
 pub use fault_insim::{fig12_in_sim, insim_cell, measure_clean, CleanCosts, InSimCell};
 pub use macro_figs::{fig10, fig11, fig12, fig20};
 pub use micro_figs::{fig08, fig09, fig13, fig14_15_16, fig17, fig18, fig19};

@@ -29,8 +29,8 @@ use std::time::Instant;
 
 use prdma::span::PHASES;
 use prdma::{
-    build_replicated_sharded, build_span_trees, tail_report, DurableConfig, DurableKind, RpcClient,
-    ServerProfile, ShardMap, TailReport,
+    build_replicated_sharded_cached, build_span_trees, tail_report, CacheConfig, DurableConfig,
+    DurableKind, RpcClient, ServerProfile, ShardMap, TailReport,
 };
 use prdma_baselines::SystemKind;
 use prdma_node::{Cluster, ClusterConfig};
@@ -95,12 +95,16 @@ fn obs_run(scale: Scale) -> ObsRun {
         log_slots: 256,
         ..Default::default()
     };
-    let sys = build_replicated_sharded(
+    // Front every shard's replica group with the hot-key lease cache so
+    // the dashboard also shows the cache columns (hits, invalidations,
+    // and the lease revocations a backup promotion triggers).
+    let (sys, _leases) = build_replicated_sharded_cached(
         &cluster,
         map,
         &(shards..shards + clients).collect::<Vec<_>>(),
         replicas,
         &dcfg,
+        &CacheConfig::default(),
     );
     let cfg = MicroConfig {
         objects,
@@ -146,6 +150,10 @@ fn fleet_table(snaps: &[Snapshot], max_rows: usize) -> Table {
             "timeouts",
             "repl_puts",
             "faults",
+            "c_hits",
+            "c_miss",
+            "c_inval",
+            "revoked",
             "inflight",
             "dma_q",
             "log_q",
@@ -196,6 +204,10 @@ fn fleet_table(snaps: &[Snapshot], max_rows: usize) -> Table {
             d("rpc_timeouts"),
             d("repl_puts"),
             d("faults"),
+            d("cache_hits"),
+            d("cache_misses"),
+            d("cache_invalidations"),
+            d("lease_revocations"),
             g("rpc_inflight"),
             g("nic_dma_inflight"),
             g("log_outstanding"),

@@ -115,6 +115,12 @@ pub struct DurableConfig {
     /// out packet loss and server crashes. The defaults never fire on a
     /// healthy run.
     pub retry: RetryPolicy,
+    /// Shard lease table for the hot-key cache: when set, every put
+    /// bumps its key's lease epoch *before* the flush wait, revoking
+    /// outstanding cached reads ahead of the durability ACK (auditor
+    /// invariant I5). `None` (the default) leaves the put path — and
+    /// every pinned journal fingerprint — untouched.
+    pub lease: Option<crate::cache::LeaseState>,
 }
 
 impl Default for DurableConfig {
@@ -132,6 +138,7 @@ impl Default for DurableConfig {
             throttle_backoff: SimDuration::from_micros(20),
             head_persist_interval: 16,
             retry: RetryPolicy::default(),
+            lease: None,
         }
     }
 }
@@ -212,6 +219,9 @@ pub struct DurableClient {
     client_node: Node,
     lane: usize,
     retry: RetryPolicy,
+    /// Shard lease table (see [`DurableConfig::lease`]); bumped on the
+    /// put path before the flush wait when present.
+    lease: Option<crate::cache::LeaseState>,
     /// Per-connection jitter stream for retry backoff: seeded from the
     /// connection identity, advanced only when a retry actually sleeps —
     /// a healthy run draws nothing, keeping its schedule byte-identical.
@@ -391,6 +401,7 @@ pub fn build_durable(
         client_node: client,
         lane,
         retry: cfg.retry,
+        lease: cfg.lease,
         ack_pool: OneshotPool::new(),
         reply_pool: OneshotPool::new(),
     };
@@ -845,6 +856,16 @@ impl DurableClient {
         }
     }
 
+    /// Revoke outstanding leases on `obj` for the put `rpc_id`. Sits
+    /// between the log append and the flush wait, so the journaled
+    /// invalidation always precedes the put's completion (invariant I5a)
+    /// and no cached read can outlive the data it covers.
+    fn lease_bump(&self, obj: u64, rpc_id: u64) {
+        if let Some(lease) = &self.lease {
+            lease.bump(obj, rpc_id, self.client_node.journal());
+        }
+    }
+
     async fn do_put(&self, obj: u64, data: Payload) -> RpcResult<Response> {
         self.do_put_inner(obj, data, None).await
     }
@@ -898,6 +919,7 @@ impl DurableClient {
             rpc_id = self.writer.journal_id(appended.index);
             self.jot_rpc(EventKind::RpcDispatch, rpc_id, put_bytes);
             self.jot_link(tag, rpc_id, put_bytes);
+            self.lease_bump(obj, rpc_id);
             match self.kind {
                 DurableKind::SFlush => {
                     self.writer.flush().sflush(appended.probe).await?;
@@ -917,6 +939,7 @@ impl DurableClient {
             rpc_id = self.writer.journal_id(appended.index);
             self.jot_rpc(EventKind::RpcDispatch, rpc_id, put_bytes);
             self.jot_link(tag, rpc_id, put_bytes);
+            self.lease_bump(obj, rpc_id);
             // Arrival notification: when the entry's DMA lands, the server
             // polling thread picks it up (handle_arrival).
             {
@@ -1049,6 +1072,7 @@ impl DurableClient {
                 let appended = self.writer.append_send(op, &data).await?;
                 let rid = self.writer.journal_id(appended.index);
                 self.jot_rpc(EventKind::RpcDispatch, rid, bytes);
+                self.lease_bump(obj, rid);
                 rpc_ids.push((rid, bytes));
                 last_probe = Some(appended.probe);
             }
@@ -1084,11 +1108,12 @@ impl DurableClient {
                 .collect();
             let receipts = self.writer.append_write_batch(ops).await?;
             let last_probe = receipts.last().expect("non-empty batch").probe;
-            for a in &receipts {
+            for (a, (obj, _)) in receipts.iter().zip(items.iter()) {
                 let rid = self.writer.journal_id(a.index);
                 // The batch shares one doorbell; dispatch bytes are the
                 // entry payloads already counted by the LogAppend records.
                 self.jot_rpc(EventKind::RpcDispatch, rid, 0);
+                self.lease_bump(*obj, rid);
                 rpc_ids.push((rid, 0));
             }
             for (appended, (_, data)) in receipts.into_iter().zip(items) {

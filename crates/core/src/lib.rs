@@ -46,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod durable;
 pub mod flush;
 pub mod log;
@@ -56,6 +57,7 @@ pub mod shard;
 pub mod span;
 pub mod store;
 
+pub use cache::{CacheConfig, CachedClient, LeaseState};
 pub use durable::{build_durable, DurableClient, DurableConfig, DurableKind, DurableServer};
 pub use flush::{FlushImpl, FlushOps};
 pub use log::{
@@ -71,8 +73,9 @@ pub use rpc::{
     ServerProfile,
 };
 pub use shard::{
-    build_replicated_sharded, build_sharded_durable, ReplicatedSharded, ShardMap, ShardPolicy,
-    ShardedClient, ShardedDurable,
+    build_replicated_sharded, build_replicated_sharded_cached, build_sharded_durable,
+    build_sharded_durable_cached, ReplicatedSharded, ShardMap, ShardPolicy, ShardedClient,
+    ShardedDurable,
 };
 pub use span::{build_span_trees, tail_report, Attribution, Span, SpanTree, TailEntry, TailReport};
-pub use store::ObjectStore;
+pub use store::{MirrorRegion, ObjectStore};

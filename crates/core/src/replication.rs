@@ -242,13 +242,18 @@ pub fn build_replicated(
         0,
         client_idx as u64,
         None,
+        None,
     )
 }
 
 /// Group builder shared with the sharded topology: `lane_base` offsets
 /// the per-replica connection lanes, `group_tag` namespaces the causal
-/// put ids, and `store_region` (when given) overrides the object-store
-/// PM region name so co-hosted groups keep their object spaces apart.
+/// put ids, `store_region` (when given) overrides the object-store
+/// PM region name so co-hosted groups keep their object spaces apart,
+/// and `lease` (when given) wires the shard's lease table into every
+/// replica's put path so durable puts revoke client caches before their
+/// flush ACK.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn build_replicated_group(
     cluster: &Cluster,
     client_idx: usize,
@@ -257,9 +262,11 @@ pub(crate) fn build_replicated_group(
     lane_base: usize,
     group_tag: u64,
     store_region: Option<String>,
+    lease: Option<crate::cache::LeaseState>,
 ) -> (ReplicatedClient, ReplicaGroup) {
     assert!(!server_idxs.is_empty(), "need at least one replica");
     let mut sub_cfg = cfg.clone();
+    sub_cfg.lease = lease;
     // Make room for the causal put id prefixed to every RPut payload.
     sub_cfg.slot_payload = cfg.slot_payload + REPL_ID_BYTES;
     // Probe policy: one quick retry per round; the ReplicatedClient's

@@ -16,10 +16,13 @@
 
 use std::rc::Rc;
 
+use crate::cache::{CacheConfig, CachedClient, LeaseState};
 use crate::durable::{build_durable, DurableClient, DurableConfig, DurableServer};
 use crate::replication::{build_replicated_group, GroupView, ReplicaGroup};
 use crate::rpc::{Request, Response, RpcBatchFuture, RpcClient, RpcFuture, RpcResult};
+use crate::store::MirrorRegion;
 use prdma_node::{Cluster, FaultInjector};
+use prdma_rnic::QpMode;
 
 /// How global object ids map onto shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -429,6 +432,7 @@ pub fn build_replicated_sharded(
                 (c * shards + shard) * replicas,
                 (c * shards + shard) as u64,
                 Some(format!("objects-s{shard}")),
+                None,
             );
             views.push(rc.view());
             per_shard.push(Box::new(rc));
@@ -437,6 +441,139 @@ pub fn build_replicated_sharded(
         clients.push(ShardedClient::with_views(map, per_shard, views));
     }
     ReplicatedSharded { clients, groups }
+}
+
+/// Build one shard's lease table: when the one-sided tier is enabled the
+/// table is backed by a mirror region carved out of the *top half* of the
+/// shard server's DRAM (the bottom is owned by the per-lane GET
+/// descriptor slots), shared by every client of the shard.
+fn shard_lease(cluster: &Cluster, shard: usize, cache: &CacheConfig) -> LeaseState {
+    if cache.mirror {
+        let dram = cluster.node(shard).dram.clone();
+        let base = dram.capacity() / 2;
+        let mirror = MirrorRegion::new(dram, base, cache.mirror_slot_bytes(), cache.mirror_slots);
+        LeaseState::with_mirror(shard as u64, mirror)
+    } else {
+        LeaseState::new(shard as u64)
+    }
+}
+
+/// Like [`build_sharded_durable`], with the hot-key lease cache and the
+/// adaptive one-sided READ fast path in front of every shard endpoint:
+/// each shard gets one [`LeaseState`] (and, when `cache.mirror` is on, a
+/// server-DRAM [`MirrorRegion`](crate::store::MirrorRegion) plus one RC
+/// QP per client for one-sided reads) shared by all clients, and every
+/// durable put bumps the key's lease epoch before its flush ACK
+/// (invariant I5). Returns the service plus the per-shard lease tables
+/// (index = shard id) for tests and dashboards.
+pub fn build_sharded_durable_cached(
+    cluster: &Cluster,
+    map: ShardMap,
+    client_nodes: &[usize],
+    cfg: &DurableConfig,
+    cache: &CacheConfig,
+) -> (ShardedDurable, Vec<LeaseState>) {
+    let shards = map.shards();
+    assert!(
+        cluster.servers() >= shards,
+        "cluster has {} server nodes, need {shards}",
+        cluster.servers()
+    );
+    let leases: Vec<LeaseState> = (0..shards)
+        .map(|shard| shard_lease(cluster, shard, cache))
+        .collect();
+    let mut servers: Vec<Vec<Rc<DurableServer>>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut clients = Vec::with_capacity(client_nodes.len());
+    for (lane, &client_idx) in client_nodes.iter().enumerate() {
+        let mut per_shard: Vec<Box<dyn RpcClient>> = Vec::with_capacity(shards);
+        for (shard, shard_servers) in servers.iter_mut().enumerate() {
+            let mut sub_cfg = cfg.clone();
+            sub_cfg.lease = Some(leases[shard].clone());
+            let (c, s): (DurableClient, DurableServer) =
+                build_durable(cluster, client_idx, shard, lane, sub_cfg);
+            s.start();
+            shard_servers.push(Rc::new(s));
+            let mirror_qp = cache
+                .mirror
+                .then(|| cluster.connect(client_idx, shard, QpMode::Rc).0);
+            per_shard.push(Box::new(CachedClient::new(
+                Box::new(c),
+                leases[shard].clone(),
+                *cache,
+                cluster.node(client_idx).clone(),
+                shard as u32,
+                mirror_qp,
+                None,
+            )));
+        }
+        clients.push(ShardedClient::new(map, per_shard));
+    }
+    (ShardedDurable { clients, servers }, leases)
+}
+
+/// Like [`build_replicated_sharded`], with the hot-key lease cache in
+/// front of every shard's replica group. The one-sided mirror tier is
+/// always disabled here — a mirror QP targets one fixed member, so a
+/// promotion would leave it reading a demoted node — and instead every
+/// promotion of a backup revokes all leases a client holds on the shard
+/// (tracked through the group's view epoch). Returns the service plus the
+/// per-shard lease tables (index = shard id).
+pub fn build_replicated_sharded_cached(
+    cluster: &Cluster,
+    map: ShardMap,
+    client_nodes: &[usize],
+    replicas: usize,
+    cfg: &DurableConfig,
+    cache: &CacheConfig,
+) -> (ReplicatedSharded, Vec<LeaseState>) {
+    let shards = map.shards();
+    assert!(
+        cluster.servers() >= shards,
+        "cluster has {} server nodes, need {shards}",
+        cluster.servers()
+    );
+    assert!(
+        (1..=shards).contains(&replicas),
+        "need 1..={shards} replicas per shard, got {replicas}"
+    );
+    let mut cache_cfg = *cache;
+    cache_cfg.mirror = false;
+    let leases: Vec<LeaseState> = (0..shards)
+        .map(|shard| LeaseState::new(shard as u64))
+        .collect();
+    let mut groups: Vec<Vec<ReplicaGroup>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut clients = Vec::with_capacity(client_nodes.len());
+    for (c, &client_idx) in client_nodes.iter().enumerate() {
+        let mut per_shard: Vec<Box<dyn RpcClient>> = Vec::with_capacity(shards);
+        let mut views = Vec::with_capacity(shards);
+        for (shard, shard_groups) in groups.iter_mut().enumerate() {
+            let members: Vec<usize> = (0..replicas).map(|r| (shard + r) % shards).collect();
+            let (rc, group) = build_replicated_group(
+                cluster,
+                client_idx,
+                &members,
+                cfg,
+                (c * shards + shard) * replicas,
+                (c * shards + shard) as u64,
+                Some(format!("objects-s{shard}")),
+                Some(leases[shard].clone()),
+            );
+            let view = rc.view();
+            views.push(view.clone());
+            per_shard.push(Box::new(CachedClient::new(
+                Box::new(rc),
+                leases[shard].clone(),
+                cache_cfg,
+                cluster.node(client_idx).clone(),
+                shard as u32,
+                None,
+                Some(view),
+            )));
+            shard_groups.push(group);
+        }
+        clients.push(ShardedClient::with_views(map, per_shard, views));
+    }
+    (ReplicatedSharded { clients, groups }, leases)
 }
 
 #[cfg(test)]
@@ -606,6 +743,164 @@ mod tests {
                 .unwrap()
         });
         assert_eq!(got.payload.unwrap().len(), 800);
+    }
+
+    #[test]
+    fn cached_sharded_gets_hit_the_client_cache() {
+        let mut sim = Sim::new(31);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::with_servers(2, 1));
+        let cfg = DurableConfig {
+            profile: ServerProfile::light(),
+            slot_payload: 1024,
+            object_slot: 1024,
+            store_capacity: 1 << 20,
+            log_slots: 64,
+            ..Default::default()
+        };
+        let cache = CacheConfig {
+            hot_threshold: 1,
+            mirror: false,
+            ..Default::default()
+        };
+        let (svc, leases) =
+            build_sharded_durable_cached(&cluster, ShardMap::new(2), &[2], &cfg, &cache);
+        assert_eq!(leases.len(), 2);
+        let lease = leases[0].clone();
+        let client = svc.clients.into_iter().next().unwrap();
+        let h = sim.handle();
+        sim.block_on(async move {
+            for obj in 0..4u64 {
+                let data = Payload::synthetic(256, obj);
+                let r = client.call(Request::Put { obj, data }).await.unwrap();
+                assert!(r.durable);
+            }
+            // The put to global object 0 (shard 0, local 0) bumped its lease.
+            assert_eq!(lease.epoch(0), 1);
+            // First GET is the filling miss: a full durable RPC.
+            let t0 = h.now();
+            client
+                .call(Request::Get { obj: 0, len: 256 })
+                .await
+                .unwrap();
+            let miss_ns = h.now().duration_since(t0).as_nanos();
+            // Every later GET is a validated cache hit: far cheaper.
+            let t1 = h.now();
+            for _ in 0..8 {
+                let r = client
+                    .call(Request::Get { obj: 0, len: 256 })
+                    .await
+                    .unwrap();
+                assert!(r.durable);
+                assert_eq!(r.payload.unwrap().len(), 256);
+            }
+            let hit_ns = h.now().duration_since(t1).as_nanos() / 8;
+            assert!(
+                hit_ns * 4 < miss_ns,
+                "cache hit {hit_ns} ns should be far below the {miss_ns} ns miss"
+            );
+            // A new put revokes the lease: the next GET misses again.
+            let data = Payload::synthetic(256, 99);
+            client.call(Request::Put { obj: 0, data }).await.unwrap();
+            assert_eq!(lease.epoch(0), 2);
+            let t2 = h.now();
+            client
+                .call(Request::Get { obj: 0, len: 256 })
+                .await
+                .unwrap();
+            let refill_ns = h.now().duration_since(t2).as_nanos();
+            assert!(
+                refill_ns > hit_ns * 4,
+                "post-put GET {refill_ns} ns should pay the RPC again (hit was {hit_ns} ns)"
+            );
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn hot_stable_keys_promote_to_the_one_sided_mirror_tier() {
+        let mut sim = Sim::new(41);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::with_servers(1, 1));
+        let cfg = DurableConfig {
+            profile: ServerProfile::light(),
+            slot_payload: 1024,
+            object_slot: 1024,
+            store_capacity: 1 << 20,
+            log_slots: 64,
+            ..Default::default()
+        };
+        let cache = CacheConfig {
+            hot_threshold: 1,
+            mirror_threshold: 2,
+            mirror: true,
+            mirror_slots: 16,
+            mirror_value_bytes: 1024,
+            ..Default::default()
+        };
+        let (svc, leases) =
+            build_sharded_durable_cached(&cluster, ShardMap::new(1), &[1], &cfg, &cache);
+        let client = svc.clients.into_iter().next().unwrap();
+        let lease = leases[0].clone();
+        sim.block_on(async move {
+            let data = Payload::synthetic(256, 7);
+            client.call(Request::Put { obj: 7, data }).await.unwrap();
+            // Miss + fill, then enough validated hits to cross
+            // `mirror_threshold` and publish the key.
+            for _ in 0..6 {
+                let r = client
+                    .call(Request::Get { obj: 7, len: 256 })
+                    .await
+                    .unwrap();
+                assert!(r.durable);
+                assert_eq!(r.payload.unwrap().len(), 256);
+            }
+            let mirror = lease.mirror().unwrap();
+            assert_eq!(mirror.published_count(), 1, "hot key must be published");
+            assert!(mirror.addr_of(7).is_some());
+            // Mirror-tier GETs keep validating against the slot header.
+            let r = client
+                .call(Request::Get { obj: 7, len: 256 })
+                .await
+                .unwrap();
+            assert!(r.durable);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn replicated_cached_service_serves_puts_and_gets() {
+        let mut sim = Sim::new(37);
+        let cluster = Cluster::new(sim.handle(), ClusterConfig::with_servers(2, 1));
+        let cfg = DurableConfig {
+            profile: ServerProfile::light(),
+            slot_payload: 1024,
+            object_slot: 1024,
+            store_capacity: 1 << 20,
+            log_slots: 64,
+            ..Default::default()
+        };
+        let cache = CacheConfig {
+            hot_threshold: 1,
+            ..Default::default()
+        };
+        let (svc, leases) =
+            build_replicated_sharded_cached(&cluster, ShardMap::new(2), &[2], 2, &cfg, &cache);
+        let client = svc.clients.into_iter().next().unwrap();
+        assert_eq!(client.shard_epoch(0), Some(0));
+        sim.block_on(async move {
+            for obj in 0..6u64 {
+                let data = Payload::from_bytes(vec![0x40 + obj as u8; 64]);
+                let r = client.call(Request::Put { obj, data }).await.unwrap();
+                assert!(r.durable);
+            }
+            for _ in 0..4 {
+                let r = client.call(Request::Get { obj: 2, len: 64 }).await.unwrap();
+                assert!(r.durable);
+                assert_eq!(r.payload.unwrap().len(), 64);
+            }
+        });
+        sim.run();
+        // Replication fans each put to both replicas: 2 sub-puts per put.
+        assert!(leases[0].epoch(0) >= 1, "puts must bump the lease epoch");
     }
 
     #[test]

@@ -2,11 +2,11 @@
 //! memory" the paper's RPCs ultimately serve (KV pairs, graph chunks,
 //! file blocks).
 
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
-use prdma_pmem::{PmDevice, PmRegion};
+use prdma_pmem::{PmDevice, PmRegion, VolatileMemory};
 use prdma_rnic::{Payload, RdmaError, RdmaResult};
 
 /// Objects stored in equal-sized PM slots.
@@ -123,6 +123,117 @@ impl ObjectStore {
     }
 }
 
+/// Size of the epoch header at the start of every mirror slot.
+pub const MIRROR_HEADER_BYTES: u64 = 8;
+
+/// A server-side DRAM mirror of hot, stable objects, readable by clients
+/// with a one-sided RDMA READ (no server CPU involvement).
+///
+/// Each published object occupies one fixed-size slot: an 8-byte
+/// little-endian lease-epoch header followed by the (synthetic) object
+/// bytes. The server rewrites the header whenever a durable put bumps the
+/// key's lease epoch, so a client comparing the header against its leased
+/// epoch detects staleness without a server round trip and falls back to
+/// the durable RPC path. Shared across clones (one region per shard
+/// server); all state is `BTreeMap`-ordered for deterministic replay.
+#[derive(Clone)]
+pub struct MirrorRegion {
+    inner: Rc<MirrorInner>,
+}
+
+struct MirrorInner {
+    dram: VolatileMemory,
+    base: u64,
+    slot_size: u64,
+    slots: u64,
+    /// obj id → slot index, in publication order.
+    published: RefCell<BTreeMap<u64, u64>>,
+    next_slot: Cell<u64>,
+}
+
+impl MirrorRegion {
+    /// A mirror of `slots` slots of `slot_size` bytes each (header
+    /// included), starting at `base` in the server's DRAM.
+    pub fn new(dram: VolatileMemory, base: u64, slot_size: u64, slots: u64) -> Self {
+        assert!(slot_size > MIRROR_HEADER_BYTES, "slot too small for header");
+        assert!(
+            base + slot_size * slots <= dram.capacity(),
+            "mirror region exceeds DRAM capacity"
+        );
+        MirrorRegion {
+            inner: Rc::new(MirrorInner {
+                dram,
+                base,
+                slot_size,
+                slots,
+                published: RefCell::new(BTreeMap::new()),
+                next_slot: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Payload bytes a slot can mirror (slot size minus the header).
+    pub fn value_capacity(&self) -> u64 {
+        self.inner.slot_size - MIRROR_HEADER_BYTES
+    }
+
+    /// Publish `obj` at `epoch`, assigning a slot on first publication.
+    /// Returns the slot's DRAM address, or `None` when the region is full
+    /// (callers fall back to the durable RPC path).
+    pub fn publish(&self, obj: u64, epoch: u64) -> Option<u64> {
+        let slot = {
+            let mut published = self.inner.published.borrow_mut();
+            match published.get(&obj) {
+                Some(&s) => s,
+                None => {
+                    let s = self.inner.next_slot.get();
+                    if s >= self.inner.slots {
+                        return None;
+                    }
+                    self.inner.next_slot.set(s + 1);
+                    published.insert(obj, s);
+                    s
+                }
+            }
+        };
+        let addr = self.inner.base + slot * self.inner.slot_size;
+        self.inner.dram.write(addr, &epoch.to_le_bytes());
+        Some(addr)
+    }
+
+    /// Rewrite the epoch header of `obj`'s slot, if published. Called by
+    /// the put path at epoch-bump time so in-flight mirror reads observe
+    /// the revocation.
+    pub fn refresh(&self, obj: u64, epoch: u64) {
+        if let Some(&slot) = self.inner.published.borrow().get(&obj) {
+            let addr = self.inner.base + slot * self.inner.slot_size;
+            self.inner.dram.write(addr, &epoch.to_le_bytes());
+        }
+    }
+
+    /// DRAM address of `obj`'s slot, if published.
+    pub fn addr_of(&self, obj: u64) -> Option<u64> {
+        self.inner
+            .published
+            .borrow()
+            .get(&obj)
+            .map(|&slot| self.inner.base + slot * self.inner.slot_size)
+    }
+
+    /// Objects currently published.
+    pub fn published_count(&self) -> usize {
+        self.inner.published.borrow().len()
+    }
+
+    /// Decode the epoch header from raw mirror-slot bytes (client side,
+    /// after a one-sided read).
+    pub fn decode_epoch(bytes: &[u8]) -> Option<u64> {
+        bytes
+            .get(..MIRROR_HEADER_BYTES as usize)
+            .map(|h| u64::from_le_bytes(h.try_into().unwrap()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +319,26 @@ mod tests {
             // Timing-only payloads still wrap freely (no content at risk).
             s.put(131, &Payload::synthetic(512, 131)).await.unwrap();
         });
+    }
+
+    #[test]
+    fn mirror_publish_refresh_and_capacity() {
+        let dram = VolatileMemory::new(1 << 16);
+        let m = MirrorRegion::new(dram.clone(), 1024, 72, 2);
+        assert_eq!(m.value_capacity(), 64);
+        let a = m.publish(7, 3).unwrap();
+        assert_eq!(a, 1024);
+        assert_eq!(MirrorRegion::decode_epoch(&dram.read(a, 8)), Some(3));
+        // Re-publication keeps the slot; refresh rewrites the header.
+        assert_eq!(m.publish(7, 4), Some(a));
+        m.refresh(7, 5);
+        assert_eq!(MirrorRegion::decode_epoch(&dram.read(a, 8)), Some(5));
+        // Second slot fits, third publication is declined.
+        assert_eq!(m.publish(8, 0), Some(1024 + 72));
+        assert_eq!(m.publish(9, 0), None);
+        assert_eq!(m.published_count(), 2);
+        assert_eq!(m.addr_of(8), Some(1024 + 72));
+        assert_eq!(m.addr_of(9), None);
     }
 
     #[test]

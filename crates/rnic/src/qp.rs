@@ -405,6 +405,47 @@ impl Qp {
         Ok(())
     }
 
+    /// One-sided GET fast path: an RDMA READ of a server-published DRAM
+    /// mirror slot. Same wire and remote-PCIe legs as [`Qp::read_bytes`]
+    /// (the remote RNIC drains posted writes and pays the PCIe read
+    /// round trip), but the response payload is additionally staged
+    /// through the *local* RNIC's SRAM on arrival — the read-side
+    /// counterpart of the write path's staging — so mirror-read traffic
+    /// shows up in SRAM occupancy gauges and contends for staging space.
+    pub async fn read_mirror(&self, target: MemTarget, len: u64) -> RdmaResult<Vec<u8>> {
+        let rpc = self.take_tag();
+        self.inner.remote.check_up()?;
+        self.post_cost(rpc, self.cfg().post_onesided).await;
+        self.inner.local.process_message().await;
+        // Read request: header-sized message.
+        {
+            let _span = self.wire_span();
+            self.jot_local(EventKind::WireSegment, rpc, self.cfg().header_bytes + 16);
+            self.inner
+                .out_link
+                .transmit(self.cfg().header_bytes + 16)
+                .await;
+        }
+        self.inner.remote.check_up()?;
+        self.inner.remote.process_message().await;
+        let payload = self.inner.remote.dma_read(target, len, true).await?;
+        {
+            let _span = self.wire_span();
+            self.jot_remote(EventKind::WireSegment, rpc, self.cfg().header_bytes + len);
+            self.inner
+                .back_link
+                .transmit(self.cfg().header_bytes + len)
+                .await;
+        }
+        self.inner.local.sram_admit(len);
+        self.inner.local.process_message().await;
+        self.inner.local.sram_release(len);
+        match payload {
+            Payload::Inline(b) => Ok(b.to_vec()),
+            other => unreachable!("inline mirror read returned {other:?}"),
+        }
+    }
+
     async fn read_inner(&self, target: MemTarget, len: u64, inline: bool) -> RdmaResult<Payload> {
         let rpc = self.take_tag();
         self.inner.remote.check_up()?;
@@ -809,6 +850,27 @@ mod tests {
         });
         assert_eq!(out.0, vec![0xEE]);
         assert!(out.1, "data must be durable after read-after-write");
+    }
+
+    #[test]
+    fn mirror_read_returns_dram_bytes_and_costs_a_round_trip() {
+        let mut sim = Sim::new(1);
+        let (qa, qb) = pair(&sim, QpMode::Rc);
+        qb.local().dram().write(4096, &[0xA5; 32]);
+        let h = sim.handle();
+        let (bytes, elapsed) = sim.block_on(async move {
+            let t0 = h.now();
+            let b = qa.read_mirror(MemTarget::Dram(4096), 32).await.unwrap();
+            (b, h.now() - t0)
+        });
+        assert_eq!(bytes, vec![0xA5; 32]);
+        // A one-sided read pays a full wire round trip plus the remote
+        // PCIe read: comfortably over a microsecond, well under ten.
+        assert!(
+            elapsed.as_nanos() > 1_000 && elapsed.as_nanos() < 10_000,
+            "mirror read RTT {} ns out of expected range",
+            elapsed.as_nanos()
+        );
     }
 
     #[test]

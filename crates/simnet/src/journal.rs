@@ -180,6 +180,23 @@ pub enum EventKind {
     /// Emitted at sub-put dispatch so span analyzers can stitch the
     /// client → primary → backup fan-out into one tree.
     ReplLink,
+    /// A server granted (or renewed) a read lease on a key when serving
+    /// a durable GET (`wr_id` = globally unique lease key id, `bytes` =
+    /// granted epoch, `rpc_id` = the GET's rpc id).
+    LeaseGrant,
+    /// A durable put bumped a key's lease epoch *before* its flush was
+    /// acknowledged, revoking every outstanding lease on the key
+    /// (`wr_id` = lease key id, `bytes` = the new epoch, `rpc_id` = the
+    /// put's rpc id). Checked by auditor invariant I5.
+    LeaseInvalidate,
+    /// A client served a GET from its lease-protected DRAM cache without
+    /// a server round trip (`wr_id` = lease key id, `bytes` = the epoch
+    /// the entry was validated against). Checked by invariant I5.
+    CacheRead,
+    /// A client served a GET with a one-sided RDMA READ of the server's
+    /// DRAM mirror region (`wr_id` = lease key id, `bytes` = the epoch
+    /// read back from the mirror slot header). Checked by invariant I5.
+    MirrorRead,
 }
 
 impl EventKind {
@@ -215,6 +232,10 @@ impl EventKind {
             EventKind::ReplAck => "repl_ack",
             EventKind::Promote => "promote",
             EventKind::ReplLink => "repl_link",
+            EventKind::LeaseGrant => "lease_grant",
+            EventKind::LeaseInvalidate => "lease_invalidate",
+            EventKind::CacheRead => "cache_read",
+            EventKind::MirrorRead => "mirror_read",
         }
     }
 }
@@ -602,6 +623,10 @@ pub struct AuditReport {
     pub recoveries: usize,
     /// Replicated put ACKs checked (invariant 4).
     pub repl_acks: usize,
+    /// Lease invalidations checked against their put's ACK (invariant 5).
+    pub lease_invalidations: usize,
+    /// Cached / mirror reads checked for lease coverage (invariant 5).
+    pub cached_reads: usize,
     /// Human-readable invariant violations (empty ⇒ audit passed).
     pub violations: Vec<String>,
 }
@@ -627,12 +652,14 @@ impl fmt::Display for AuditReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "audit: {} records, {} flush barriers, {} rpcs, {} recoveries, {} repl acks — {}",
+            "audit: {} records, {} flush barriers, {} rpcs, {} recoveries, {} repl acks, {} lease invalidations, {} cached reads — {}",
             self.records,
             self.flush_acks,
             self.rpcs_checked,
             self.recoveries,
             self.repl_acks,
+            self.lease_invalidations,
+            self.cached_reads,
             if self.ok() {
                 "PASS".to_string()
             } else {
@@ -662,6 +689,16 @@ impl fmt::Display for AuditReport {
 ///    RPC resolved, whose completion invariant 2 already ties to its
 ///    redo-log append — together: no replicated ACK before *every*
 ///    counted replica's log append.
+/// 5. **Lease freshness** — (a) every `LeaseInvalidate` must be emitted
+///    no later than its put's `RpcComplete` (the epoch bump precedes the
+///    durability ACK, so a lease can never outlive the data it covers);
+///    (b) every `CacheRead` / `MirrorRead` at epoch `e` must be covered
+///    by a `LeaseGrant` of exactly epoch `e` (or by the `LeaseInvalidate`
+///    that moved the key *to* `e` — the bump republishes the mirror slot
+///    header), and no invalidation that
+///    moved the key past `e` may strictly precede the read — together: a
+///    cached read can never return bytes newer than the last
+///    flush-ACKed put, nor serve a lease revoked by one.
 pub fn audit(records: &[Record]) -> AuditReport {
     let mut rep = AuditReport {
         records: records.len(),
@@ -820,6 +857,88 @@ pub fn audit(records: &[Record]) -> AuditReport {
                 claimed,
                 slots.len()
             ));
+        }
+    }
+
+    // --- Invariant 5a: a lease invalidation precedes its put's ACK.
+    let mut complete_ts_by_rpc: BTreeMap<u64, u64> = BTreeMap::new();
+    for r in records {
+        if r.kind == EventKind::RpcComplete && r.rpc_id != NO_ID {
+            complete_ts_by_rpc.entry(r.rpc_id).or_insert(r.ts_ns);
+        }
+    }
+    for r in records {
+        if r.kind != EventKind::LeaseInvalidate || r.rpc_id == NO_ID {
+            continue;
+        }
+        rep.lease_invalidations += 1;
+        if let Some(t_ack) = complete_ts_by_rpc.get(&r.rpc_id) {
+            if r.ts_ns > *t_ack {
+                rep.violations.push(format!(
+                    "lease key {:#x}: invalidation at {} ns follows its put {:#x} ACK at {} ns",
+                    r.wr_id, r.ts_ns, r.rpc_id, t_ack
+                ));
+            }
+        }
+    }
+
+    // --- Invariant 5b: every cached/mirror read at epoch e is covered
+    // by a grant of exactly e, and no invalidation moved the key past e
+    // strictly before the read. Grants and invalidations are emitted
+    // synchronously (zero sim time), so events sharing a timestamp are
+    // concurrent — only a *strictly earlier* revocation is a violation.
+    let mut grant_ts: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut invalidations_by_key: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
+    for r in records {
+        match r.kind {
+            EventKind::LeaseGrant => {
+                grant_ts.entry((r.wr_id, r.bytes)).or_insert(r.ts_ns);
+            }
+            EventKind::LeaseInvalidate => {
+                invalidations_by_key
+                    .entry(r.wr_id)
+                    .or_default()
+                    .push((r.bytes, r.ts_ns));
+            }
+            _ => {}
+        }
+    }
+    for r in records {
+        if !matches!(r.kind, EventKind::CacheRead | EventKind::MirrorRead) {
+            continue;
+        }
+        rep.cached_reads += 1;
+        let (key, epoch) = (r.wr_id, r.bytes);
+        // Coverage: an explicit grant at epoch e, or the invalidation
+        // record that *moved* the key to e — the epoch bump refreshes the
+        // server's mirror slot header, so the bump record doubles as the
+        // publication of epoch e (a one-sided READ validates against it
+        // and may refill the client entry without a fresh RPC grant).
+        let granted = grant_ts
+            .get(&(key, epoch))
+            .is_some_and(|t_grant| *t_grant <= r.ts_ns);
+        let published = invalidations_by_key.get(&key).is_some_and(|invs| {
+            invs.iter()
+                .any(|(new_epoch, t_inv)| *new_epoch == epoch && *t_inv <= r.ts_ns)
+        });
+        if !granted && !published {
+            rep.violations.push(format!(
+                "lease key {key:#x}: {} at {} ns for epoch {epoch} without a covering lease grant",
+                r.kind.name(),
+                r.ts_ns
+            ));
+        }
+        if let Some(invs) = invalidations_by_key.get(&key) {
+            for (new_epoch, t_inv) in invs {
+                if *new_epoch > epoch && *t_inv < r.ts_ns {
+                    rep.violations.push(format!(
+                        "lease key {key:#x}: {} at {} ns serves epoch {epoch} revoked by an invalidation to epoch {new_epoch} at {t_inv} ns",
+                        r.kind.name(),
+                        r.ts_ns
+                    ));
+                    break;
+                }
+            }
         }
     }
 
@@ -1611,6 +1730,145 @@ mod tests {
                 1,
                 64,
             ),
+        ];
+        audit(&records).assert_ok();
+    }
+
+    #[test]
+    fn audit_checks_lease_invalidation_precedes_put_ack() {
+        let key = (3u64 << 44) | 7;
+        let put_id = 2u64 << 40;
+        // Invalidation before the put's completion: pass.
+        let records = vec![
+            rec(
+                0,
+                1,
+                0,
+                Subsystem::Rpc,
+                EventKind::RpcDispatch,
+                put_id,
+                NO_ID,
+                64,
+            ),
+            rec(
+                5,
+                1,
+                1,
+                Subsystem::Rpc,
+                EventKind::LeaseInvalidate,
+                put_id,
+                key,
+                1,
+            ),
+            rec(
+                20,
+                1,
+                2,
+                Subsystem::Rpc,
+                EventKind::RpcComplete,
+                put_id,
+                NO_ID,
+                64,
+            ),
+        ];
+        let rep = audit(&records);
+        rep.assert_ok();
+        assert_eq!(rep.lease_invalidations, 1);
+
+        // Invalidation after the ACK: the window where a cached read can
+        // return bytes newer than the last flush-ACKed put. Violation.
+        let records = vec![
+            rec(
+                20,
+                1,
+                0,
+                Subsystem::Rpc,
+                EventKind::RpcComplete,
+                put_id,
+                NO_ID,
+                64,
+            ),
+            rec(
+                25,
+                1,
+                1,
+                Subsystem::Rpc,
+                EventKind::LeaseInvalidate,
+                put_id,
+                key,
+                1,
+            ),
+        ];
+        let rep = audit(&records);
+        assert!(!rep.ok());
+        assert!(rep.violations[0].contains("follows its put"));
+    }
+
+    #[test]
+    fn audit_checks_cached_read_lease_coverage() {
+        let key = (1u64 << 44) | 9;
+        // Grant at epoch 0, read at epoch 0: pass.
+        let records = vec![
+            rec(5, 1, 0, Subsystem::Rpc, EventKind::LeaseGrant, 100, key, 0),
+            rec(9, 1, 1, Subsystem::Rpc, EventKind::CacheRead, 101, key, 0),
+        ];
+        let rep = audit(&records);
+        rep.assert_ok();
+        assert_eq!(rep.cached_reads, 1);
+
+        // A read with no covering grant: violation.
+        let records = vec![rec(
+            9,
+            1,
+            0,
+            Subsystem::Rpc,
+            EventKind::MirrorRead,
+            101,
+            key,
+            3,
+        )];
+        let rep = audit(&records);
+        assert!(!rep.ok());
+        assert!(rep.violations[0].contains("without a covering lease grant"));
+
+        // Grant(0) → invalidate(→1) → read(0) strictly later: a revoked
+        // lease was served. Violation.
+        let records = vec![
+            rec(5, 1, 0, Subsystem::Rpc, EventKind::LeaseGrant, 100, key, 0),
+            rec(
+                8,
+                2,
+                0,
+                Subsystem::Rpc,
+                EventKind::LeaseInvalidate,
+                200,
+                key,
+                1,
+            ),
+            rec(12, 1, 1, Subsystem::Rpc, EventKind::CacheRead, 101, key, 0),
+        ];
+        let rep = audit(&records);
+        assert!(!rep.ok());
+        assert!(rep.violations[0].contains("revoked by an invalidation"));
+
+        // Same-timestamp invalidate and read are concurrent (zero-time
+        // emission): not a violation. Re-grant at the new epoch then a
+        // read at that epoch is clean.
+        let records = vec![
+            rec(5, 1, 0, Subsystem::Rpc, EventKind::LeaseGrant, 100, key, 0),
+            rec(
+                8,
+                2,
+                0,
+                Subsystem::Rpc,
+                EventKind::LeaseInvalidate,
+                200,
+                key,
+                1,
+            ),
+            rec(8, 1, 1, Subsystem::Rpc, EventKind::CacheRead, 101, key, 0),
+            rec(11, 1, 2, Subsystem::Rpc, EventKind::LeaseGrant, 102, key, 1),
+            rec(15, 1, 3, Subsystem::Rpc, EventKind::CacheRead, 103, key, 1),
         ];
         audit(&records).assert_ok();
     }

@@ -6,7 +6,7 @@ use prdma::{Request, RpcClient};
 use prdma_rnic::Payload;
 use prdma_simnet::{Histogram, SimDuration, SimHandle, Summary};
 
-use crate::dist::{workload_rng, KeyDist};
+use crate::dist::{workload_rng, KeyDist, Zipfian};
 
 /// Micro-benchmark parameters (defaults follow the paper).
 #[derive(Debug, Clone)]
@@ -133,6 +133,82 @@ pub async fn run_micro(client: &dyn RpcClient, h: &SimHandle, cfg: &MicroConfig)
         }
     }
     RunResult::from_histogram(done, unsupported, failed, h.now() - t0, &hist)
+}
+
+/// Results of a mixed run with read and write latency summarized
+/// *separately* — the cache figure needs the GET percentiles alone, since
+/// a blended mean hides the read fast path behind the write tail.
+#[derive(Debug, Clone)]
+pub struct SplitResult {
+    /// Operations completed (reads + writes).
+    pub ops: u64,
+    /// Total simulated duration.
+    pub elapsed: SimDuration,
+    /// Throughput in K-operations per simulated second.
+    pub kops: f64,
+    /// GET latency summary.
+    pub get: Summary,
+    /// PUT latency summary.
+    pub put: Summary,
+}
+
+/// Run the micro-benchmark mix with an explicit zipfian skew `theta`,
+/// recording GET and PUT latencies in separate histograms (the `fig_cache`
+/// sweep varies skew and reads off the GET percentiles).
+pub async fn run_micro_split(
+    client: &dyn RpcClient,
+    h: &SimHandle,
+    cfg: &MicroConfig,
+    theta: f64,
+) -> SplitResult {
+    let mut rng = workload_rng(cfg.seed);
+    let dist = Zipfian::new(cfg.objects, theta);
+    let mut gets = Histogram::new();
+    let mut puts = Histogram::new();
+    let mut done = 0u64;
+    let t0 = h.now();
+    for i in 0..cfg.ops {
+        let obj = dist.sample(&mut rng);
+        let is_read = rng.gen::<f64>() < cfg.read_ratio;
+        let start = h.now();
+        let res = if is_read {
+            client
+                .call(Request::Get {
+                    obj,
+                    len: cfg.object_size,
+                })
+                .await
+        } else {
+            client
+                .call(Request::Put {
+                    obj,
+                    data: Payload::synthetic(cfg.object_size, i),
+                })
+                .await
+        };
+        if res.is_ok() {
+            let d = h.now() - start;
+            if is_read {
+                gets.record_duration(d);
+            } else {
+                puts.record_duration(d);
+            }
+            done += 1;
+        }
+    }
+    let elapsed = h.now() - t0;
+    let kops = if elapsed > SimDuration::ZERO {
+        done as f64 / elapsed.as_secs_f64() / 1e3
+    } else {
+        0.0
+    };
+    SplitResult {
+        ops: done,
+        elapsed,
+        kops,
+        get: gets.summary(),
+        put: puts.summary(),
+    }
 }
 
 /// Run `senders` concurrent clients against one server; returns the merged

@@ -574,4 +574,22 @@ mod tests {
         assert_eq!(detect_knee(&[], 3.0), None);
         assert_eq!(detect_knee(&[(25.0, 0.0)], 3.0), None);
     }
+
+    #[test]
+    fn knee_detection_boundary_cases() {
+        // A curve that never saturates: the knee is the heaviest point
+        // swept (the sweep, not the system, ran out).
+        let flat = [(25.0, 100.0), (50.0, 101.0), (100.0, 102.0), (200.0, 103.0)];
+        assert_eq!(detect_knee(&flat, 3.0), Some(200.0));
+        // A single point exactly at tolerance 1.0: the baseline always
+        // covers itself.
+        assert_eq!(detect_knee(&[(25.0, 100.0)], 1.0), Some(25.0));
+        // Every point after the lightest blows the budget: the lightest
+        // load *is* the knee.
+        let cliff = [(25.0, 100.0), (50.0, 900.0), (100.0, 4000.0)];
+        assert_eq!(detect_knee(&cliff, 1.5), Some(25.0));
+        // A tolerance below 1 rejects even the baseline point — no load
+        // meets the target.
+        assert_eq!(detect_knee(&cliff, 0.5), None);
+    }
 }
