@@ -26,6 +26,7 @@
 //! | `fig20_breakdown` | Fig. 20 (sender SW / RTT / receiver SW) |
 //! | `fig_scaleout` | beyond the paper: throughput/p99 vs. 1–8 shards |
 //! | `fig_obs` | fleet metrics dashboard, tail critical-path attribution, overhead gate |
+//! | `fig_txn` | durable 2PC transactions: commit p50/p99 + abort rate vs shards × skew |
 //! | `table2_summary` | Table 2 (qualitative summary, measured) |
 //! | `ablations` | DESIGN.md ablations (flush impl, DDIO, threshold) |
 //! | `sim_core` | microbenches of the simulator itself + `BENCH_simcore.json` |

@@ -121,6 +121,11 @@ pub struct DurableConfig {
     /// invariant I5). `None` (the default) leaves the put path — and
     /// every pinned journal fingerprint — untouched.
     pub lease: Option<crate::cache::LeaseState>,
+    /// Shard transaction table for durable 2PC: when set, the server
+    /// processes `TxnPrepare`/`TxnDecide`/`TxnCommit`/`TxnAbort` log
+    /// entries against it (staging, in-doubt resolution, apply). `None`
+    /// (the default) leaves the single-RPC paths untouched.
+    pub txn: Option<crate::txn::TxnState>,
 }
 
 impl Default for DurableConfig {
@@ -139,6 +144,7 @@ impl Default for DurableConfig {
             head_persist_interval: 16,
             retry: RetryPolicy::default(),
             lease: None,
+            txn: None,
         }
     }
 }
@@ -203,6 +209,8 @@ struct Shared {
     /// Shared so node-crash recovery can flush and re-arm the ring from
     /// the recovered tail (see `recover_and_requeue`).
     next_recv_index: Cell<u64>,
+    /// Shard transaction table (see [`DurableConfig::txn`]).
+    txn: Option<crate::txn::TxnState>,
     /// Pre-resolved server-node metric handles (None when metrics off).
     m_puts_logged: Option<Counter>,
     m_puts_processed: Option<Counter>,
@@ -236,7 +244,18 @@ pub struct DurableClient {
     /// Per-connection recycler for the GET reply oneshot (same lifetime
     /// argument as `ack_pool`, payload-typed).
     reply_pool: OneshotPool<Payload>,
+    /// Next per-op causal id for batched puts (see [`BATCH_ID_BASE`]):
+    /// allocated once per logical op *before* the retry loop, so a
+    /// whole-batch retry re-appends the same ids and apply-time dedup
+    /// makes the batch exactly-once.
+    next_batch_id: Cell<u64>,
 }
+
+/// Causal-id namespace for batched puts: distinct from replication ids
+/// (`1 << 60 | ...`), transaction ids (`1 << 59 | ...`), log-derived rpc
+/// ids (`lane << 40 | index`), and allocator ids (`1 << 32 + ...`).
+/// Layout: `BATCH_ID_BASE | client_node << 36 | lane << 24 | counter`.
+pub const BATCH_ID_BASE: u64 = 1 << 58;
 
 /// Per-connection metric handles, resolved once at build time so the
 /// hot path never performs a key lookup. Series are labeled with the
@@ -286,8 +305,10 @@ pub fn build_durable(
     server.tracer().set_role(Role::Receiver);
 
     // Log region: one ring per connection (paper: per-connection log with
-    // connection info in the header).
-    let slot_size = align8(cfg.slot_payload) + ENTRY_HEADER + ENTRY_FOOTER;
+    // connection info in the header). Every ring reserves REPL_ID_BYTES
+    // of headroom beyond the configured payload so causal-id-prefixed
+    // entries (RPut, batched puts) fit a full `slot_payload`-sized value.
+    let slot_size = align8(cfg.slot_payload + REPL_ID_BYTES) + ENTRY_HEADER + ENTRY_FOOTER;
     let log_bytes = LOG_HEADER_BYTES + cfg.log_slots * slot_size;
     let log_region = server
         .alloc
@@ -365,6 +386,7 @@ pub fn build_durable(
         puts_processed: Cell::new(0),
         puts_deduped: Cell::new(0),
         next_recv_index: Cell::new(0),
+        txn: cfg.txn.clone(),
         m_puts_logged: server
             .metrics()
             .map(|m| m.counter_handle(Key::new("puts_logged"))),
@@ -404,6 +426,7 @@ pub fn build_durable(
         lease: cfg.lease,
         ack_pool: OneshotPool::new(),
         reply_pool: OneshotPool::new(),
+        next_batch_id: Cell::new(0),
     };
     let server_ep = DurableServer {
         node: server,
@@ -757,6 +780,13 @@ async fn process_entry(
         return;
     }
     node.cpu.dispatch_thread().await;
+    if matches!(
+        entry.op.opcode,
+        OpCode::TxnPrepare | OpCode::TxnDecide | OpCode::TxnCommit | OpCode::TxnAbort
+    ) {
+        crate::txn::process_txn_entry(node, log, store, shared.txn.as_ref(), &entry).await;
+        return;
+    }
     if entry.op.opcode == OpCode::RPut {
         // Replicated put: the payload's first REPL_ID_BYTES are the
         // causal put id. A retry after a partial replication failure
@@ -877,6 +907,100 @@ impl DurableClient {
     /// [`RetryPolicy`] like [`RpcClient::call`].
     pub async fn put_tagged(&self, obj: u64, data: Payload, put_id: u64) -> RpcResult<Response> {
         self.retry_loop(|| self.do_put_inner(obj, data.clone(), Some(put_id)))
+            .await
+    }
+
+    /// Durably append an arbitrary log record (transaction prepare /
+    /// decide / commit / abort) and wait for this connection's
+    /// persistence signal — the flush ACK or the receiver persist-ACK,
+    /// per the configured durable kind. Returns the record's journal rpc
+    /// id. The record is *not* applied to the object store here; the
+    /// server's worker pool interprets it (see `process_txn_entry`).
+    /// Appends are at-least-once under the retry wrapper; interpreters
+    /// must tolerate duplicate records for one txn id.
+    pub async fn append_record(
+        &self,
+        opcode: OpCode,
+        obj_id: u64,
+        data: Payload,
+    ) -> RpcResult<u64> {
+        let op = RpcOperator { opcode, obj_id };
+        let bytes = data.len();
+        let ack_rx = if self.kind.is_receiver_initiated() {
+            let (tx, rx) = self.ack_pool.oneshot();
+            *self.shared.ack_waiter.borrow_mut() = Some(tx);
+            self.shared.ack_after.set(self.shared.puts_logged.get() + 1);
+            Some(rx)
+        } else {
+            None
+        };
+        let _persist = self.client_node.tracer().span(Phase::LogPersist);
+        let rpc_id;
+        if self.kind.is_send_based() {
+            let appended = self.writer.append_send(op, &data).await?;
+            rpc_id = self.writer.journal_id(appended.index);
+            self.jot_rpc(EventKind::RpcDispatch, rpc_id, bytes);
+            match self.kind {
+                DurableKind::SFlush => {
+                    self.writer.flush().sflush(appended.probe).await?;
+                }
+                DurableKind::SRFlush => {
+                    let wait = self.client_node.tracer().span(Phase::FlushWait);
+                    if ack_rx.expect("registered").await.is_none() {
+                        return Err(RpcError::ServerDown);
+                    }
+                    wait.end();
+                    self.client_node.cpu.poll_dispatch().await;
+                }
+                _ => unreachable!(),
+            }
+        } else {
+            let appended = self.writer.append_write(op, &data).await?;
+            rpc_id = self.writer.journal_id(appended.index);
+            self.jot_rpc(EventKind::RpcDispatch, rpc_id, bytes);
+            {
+                let shared = Rc::clone(&self.shared);
+                let token = appended.token;
+                let index = appended.index;
+                let h = self.get_qp.local().handle().clone();
+                h.spawn(async move {
+                    let durable = token.wait().await;
+                    let _ = shared.arrival_tx.send(Arrival {
+                        index,
+                        data,
+                        durable,
+                    });
+                });
+            }
+            match self.kind {
+                DurableKind::WFlush => {
+                    self.writer.flush().wflush(appended.probe).await?;
+                }
+                DurableKind::WRFlush => {
+                    let wait = self.client_node.tracer().span(Phase::FlushWait);
+                    if ack_rx.expect("registered").await.is_none() {
+                        return Err(RpcError::ServerDown);
+                    }
+                    wait.end();
+                    self.client_node.cpu.poll_dispatch().await;
+                }
+                _ => unreachable!(),
+            }
+        }
+        self.jot_rpc(EventKind::RpcComplete, rpc_id, bytes);
+        Ok(rpc_id)
+    }
+
+    /// [`append_record`] under this connection's [`RetryPolicy`].
+    ///
+    /// [`append_record`]: DurableClient::append_record
+    pub async fn append_record_retried(
+        &self,
+        opcode: OpCode,
+        obj_id: u64,
+        data: Payload,
+    ) -> RpcResult<u64> {
+        self.retry_loop(|| self.append_record(opcode, obj_id, data.clone()))
             .await
     }
 
@@ -1037,14 +1161,35 @@ impl DurableClient {
 }
 
 impl DurableClient {
+    /// Allocate the next per-op causal id for a batched put. Allocated
+    /// once per logical op in `call_batch` *before* its retry loop, so a
+    /// whole-batch retry after a mid-batch crash re-appends the same ids
+    /// and the server's `note_applied` dedup makes each op exactly-once.
+    fn alloc_batch_id(&self) -> u64 {
+        let n = self.next_batch_id.get();
+        self.next_batch_id.set(n + 1);
+        BATCH_ID_BASE | ((self.client_node.id.0 as u64) << 36) | ((self.lane as u64) << 24) | n
+    }
+
     /// Batched puts (paper Fig. 19 / Section 4.3): one doorbell for the
     /// writes, one coalesced flush (sender-initiated kinds) or one final
-    /// persist-ACK (receiver-initiated kinds).
-    async fn do_put_batch(&self, items: Vec<(u64, Payload)>) -> RpcResult<Vec<Response>> {
+    /// persist-ACK (receiver-initiated kinds). Each item carries its
+    /// caller-allocated causal id; entries are logged as [`OpCode::RPut`]
+    /// with the id prefixed so apply-time dedup survives batch retries.
+    async fn do_put_batch(&self, items: Vec<(u64, Payload, u64)>) -> RpcResult<Vec<Response>> {
         if items.is_empty() {
             return Ok(Vec::new());
         }
         let k = items.len();
+        let items: Vec<(u64, Payload)> = items
+            .into_iter()
+            .map(|(obj, data, id)| {
+                (
+                    obj,
+                    Payload::composite(vec![Payload::from_bytes(id.to_le_bytes().to_vec()), data]),
+                )
+            })
+            .collect();
         let ack_rx = if self.kind.is_receiver_initiated() {
             let (tx, rx) = self.ack_pool.oneshot();
             *self.shared.ack_waiter.borrow_mut() = Some(tx);
@@ -1065,7 +1210,7 @@ impl DurableClient {
             let mut last_probe = None;
             for (obj, data) in items {
                 let op = RpcOperator {
-                    opcode: OpCode::Put,
+                    opcode: OpCode::RPut,
                     obj_id: obj,
                 };
                 let bytes = data.len();
@@ -1099,7 +1244,7 @@ impl DurableClient {
                 .map(|(obj, data)| {
                     (
                         RpcOperator {
-                            opcode: OpCode::Put,
+                            opcode: OpCode::RPut,
                             obj_id: *obj,
                         },
                         data.clone(),
@@ -1234,11 +1379,14 @@ impl RpcClient for DurableClient {
     fn call_batch(&self, reqs: Vec<Request>) -> crate::rpc::RpcBatchFuture<'_> {
         Box::pin(async move {
             // Batch contiguous puts; other requests run individually.
+            // Causal ids are fixed here, outside the retry loop, so a
+            // whole-batch re-send after a mid-batch crash deduplicates at
+            // apply time (exactly-once per logical op).
             let mut out = Vec::with_capacity(reqs.len());
-            let mut puts: Vec<(u64, Payload)> = Vec::new();
+            let mut puts: Vec<(u64, Payload, u64)> = Vec::new();
             for req in reqs {
                 match req {
-                    Request::Put { obj, data } => puts.push((obj, data)),
+                    Request::Put { obj, data } => puts.push((obj, data, self.alloc_batch_id())),
                     other => {
                         if !puts.is_empty() {
                             let chunk = std::mem::take(&mut puts);

@@ -19,6 +19,9 @@
 //!   crash recovery without client re-transmission.
 //! * **A uniform RPC interface** ([`rpc`]) shared with the nine baseline
 //!   systems in `prdma-baselines`, so experiments sweep all systems.
+//! * **Durable multi-shard transactions** ([`txn`]): FaRM-style OCC plus
+//!   durable 2PC whose prepare/decided records live in the PM redo logs,
+//!   so in-doubt transactions resolve from the logs alone at recovery.
 //!
 //! ## Quickstart
 //!
@@ -56,6 +59,7 @@ pub mod rpc;
 pub mod shard;
 pub mod span;
 pub mod store;
+pub mod txn;
 
 pub use cache::{CacheConfig, CachedClient, LeaseState};
 pub use durable::{build_durable, DurableClient, DurableConfig, DurableKind, DurableServer};
@@ -74,8 +78,12 @@ pub use rpc::{
 };
 pub use shard::{
     build_replicated_sharded, build_replicated_sharded_cached, build_sharded_durable,
-    build_sharded_durable_cached, ReplicatedSharded, ShardMap, ShardPolicy, ShardedClient,
-    ShardedDurable,
+    build_sharded_durable_cached, ReplicatedSharded, ShardBatchOutcome, ShardFailure, ShardMap,
+    ShardPolicy, ShardedClient, ShardedDurable,
 };
 pub use span::{build_span_trees, tail_report, Attribution, Span, SpanTree, TailEntry, TailReport};
 pub use store::{MirrorRegion, ObjectStore};
+pub use txn::{
+    build_sharded_txn, AbortReason, ShardedTxn, Txn, TxnClient, TxnDirectory, TxnOutcome, TxnPhase,
+    TxnState,
+};

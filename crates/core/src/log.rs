@@ -62,6 +62,21 @@ pub enum OpCode {
     /// a little-endian causal put id shared by every replica of the same
     /// logical put, used to deduplicate retry re-appends at apply time.
     RPut,
+    /// A transaction's prepare record at one participant shard: the
+    /// payload encodes the coordinator shard and the participant's write
+    /// set; `obj_id` carries the txn id. Not marked done until the txn
+    /// resolves, so recovery always re-sees in-flight prepares.
+    TxnPrepare,
+    /// The coordinator's decided record (`obj_id` = txn id; payload =
+    /// commit flag + participant shard list). In-doubt participant
+    /// replays consult this record — and only this record — to resolve.
+    TxnDecide,
+    /// A commit-apply record at one participant (`obj_id` = txn id):
+    /// processing applies the staged writes and releases locks.
+    TxnCommit,
+    /// An abort record at one participant (`obj_id` = txn id):
+    /// processing discards the staged writes and releases locks.
+    TxnAbort,
 }
 
 impl OpCode {
@@ -70,6 +85,10 @@ impl OpCode {
             OpCode::Put => 1,
             OpCode::Process => 2,
             OpCode::RPut => 3,
+            OpCode::TxnPrepare => 4,
+            OpCode::TxnDecide => 5,
+            OpCode::TxnCommit => 6,
+            OpCode::TxnAbort => 7,
         }
     }
 
@@ -78,6 +97,10 @@ impl OpCode {
             1 => Some(OpCode::Put),
             2 => Some(OpCode::Process),
             3 => Some(OpCode::RPut),
+            4 => Some(OpCode::TxnPrepare),
+            5 => Some(OpCode::TxnDecide),
+            6 => Some(OpCode::TxnCommit),
+            7 => Some(OpCode::TxnAbort),
             _ => None,
         }
     }
@@ -340,6 +363,34 @@ impl RedoLog {
     /// write is skipped (exactly-once apply under at-least-once append).
     pub fn note_applied(&self, id: u64) -> bool {
         self.applied_ids.borrow_mut().insert(id)
+    }
+
+    /// Whether causal id `id` has already been applied (no side effect).
+    pub fn was_applied(&self, id: u64) -> bool {
+        self.applied_ids.borrow().contains(&id)
+    }
+
+    /// Scan every ring slot's *current* resident entry from the
+    /// persistent view, regardless of cursor state. Each slot stores the
+    /// sequence number of the entry occupying it; a slot whose resident
+    /// seq maps back to itself and whose commit word validates yields
+    /// that entry. Used by transaction recovery to look up a
+    /// coordinator's decided record from the logs alone — valid for any
+    /// record appended within the last ring lap, which covers in-flight
+    /// transactions (their prepare records hold participant heads back).
+    pub fn scan_ring(&self) -> Vec<LogEntry> {
+        let mut out = Vec::new();
+        for slot in 0..self.layout.slots {
+            let addr = self.layout.region.offset + LOG_HEADER_BYTES + slot * self.layout.slot_size;
+            let seq = u64_at(&self.pm.read_persistent_view(addr, 8), 0);
+            if seq % self.layout.slots != slot {
+                continue;
+            }
+            if let Some(e) = self.read_entry_from(seq, true) {
+                out.push(e);
+            }
+        }
+        out
     }
 
     fn jot(&self, subsystem: Subsystem, kind: EventKind, index: u64, bytes: u64) {

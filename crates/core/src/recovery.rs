@@ -33,6 +33,12 @@ pub struct RecoveryStats {
     pub downtime: SimDuration,
     /// Total re-transfer waiting (traditional path only).
     pub retransfer_wait: SimDuration,
+    /// Transactions found in doubt (staged prepare, no in-band decision)
+    /// during replay.
+    pub in_doubt_txns: u64,
+    /// In-doubt transactions resolved from the coordinator's decided
+    /// record in the logs — i.e. without any client retransmit.
+    pub in_doubt_resolved: u64,
 }
 
 impl RecoveryStats {
@@ -40,5 +46,12 @@ impl RecoveryStats {
     pub fn record_crash(&mut self, restart: SimDuration) {
         self.crashes += 1;
         self.downtime += restart;
+    }
+
+    /// Record a replay that found `in_doubt` staged transactions and
+    /// resolved `resolved` of them from the logs alone.
+    pub fn record_in_doubt(&mut self, in_doubt: u64, resolved: u64) {
+        self.in_doubt_txns += in_doubt;
+        self.in_doubt_resolved += resolved;
     }
 }

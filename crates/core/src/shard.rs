@@ -19,7 +19,7 @@ use std::rc::Rc;
 use crate::cache::{CacheConfig, CachedClient, LeaseState};
 use crate::durable::{build_durable, DurableClient, DurableConfig, DurableServer};
 use crate::replication::{build_replicated_group, GroupView, ReplicaGroup};
-use crate::rpc::{Request, Response, RpcBatchFuture, RpcClient, RpcFuture, RpcResult};
+use crate::rpc::{Request, Response, RpcBatchFuture, RpcClient, RpcError, RpcFuture, RpcResult};
 use crate::store::MirrorRegion;
 use prdma_node::{Cluster, FaultInjector};
 use prdma_rnic::QpMode;
@@ -183,6 +183,88 @@ impl ShardedClient {
         &self.map
     }
 
+    /// Batched call with structured per-shard outcomes: one shard's
+    /// failure never discards another shard's completed responses (and
+    /// the failed positions are reported, not panicked over). Within a
+    /// shard's sub-batch, puts and gets always go through the shard's
+    /// batched path (doorbell batching, coalesced flushes); only scans —
+    /// which must split across shards — take the per-call path.
+    pub async fn call_batch_outcomes(&self, reqs: Vec<Request>) -> ShardBatchOutcome {
+        // Partition the batch by owning shard (preserving each shard's
+        // sub-order); responses are restored to request order by
+        // position.
+        let mut per_shard: Vec<Vec<(usize, Request)>> =
+            (0..self.map.shards()).map(|_| Vec::new()).collect();
+        let mut total = 0usize;
+        for (pos, req) in reqs.into_iter().enumerate() {
+            total += 1;
+            let routed = match req {
+                Request::Put { obj, data } => {
+                    let (shard, local) = self.map.route(obj);
+                    (shard, Request::Put { obj: local, data })
+                }
+                Request::Get { obj, len } => {
+                    let (shard, local) = self.map.route(obj);
+                    (shard, Request::Get { obj: local, len })
+                }
+                // Scans split across shards; route through `call` on
+                // the shard owning the range start.
+                scan @ Request::Scan { .. } => {
+                    let shard = self.map.shard_of(match scan {
+                        Request::Scan { start, .. } => start,
+                        _ => unreachable!(),
+                    });
+                    (shard, scan)
+                }
+            };
+            per_shard[routed.0].push((pos, routed.1));
+        }
+        let mut out = ShardBatchOutcome {
+            responses: (0..total).map(|_| None).collect(),
+            failures: Vec::new(),
+        };
+        for (shard, items) in per_shard.into_iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            // Scans take the per-call path; everything else stays in the
+            // shard's batched path, even when co-batched with a scan.
+            type Positioned = Vec<(usize, Request)>;
+            let (scans, batched): (Positioned, Positioned) = items
+                .into_iter()
+                .partition(|(_, r)| matches!(r, Request::Scan { .. }));
+            let mut shard_errors: Vec<(RpcError, Vec<usize>)> = Vec::new();
+            if !batched.is_empty() {
+                let (positions, sub): (Vec<usize>, Vec<Request>) = batched.into_iter().unzip();
+                match self.shards[shard].call_batch(sub).await {
+                    Ok(resps) => {
+                        for (pos, resp) in positions.into_iter().zip(resps) {
+                            out.responses[pos] = Some(resp);
+                        }
+                    }
+                    Err(e) => shard_errors.push((e, positions)),
+                }
+            }
+            for (pos, scan) in scans {
+                match self.dispatch(scan).await {
+                    Ok(resp) => out.responses[pos] = Some(resp),
+                    Err(e) => shard_errors.push((e, vec![pos])),
+                }
+            }
+            if let Some((error, _)) = shard_errors.first().cloned() {
+                let mut positions: Vec<usize> =
+                    shard_errors.into_iter().flat_map(|(_, p)| p).collect();
+                positions.sort_unstable();
+                out.failures.push(ShardFailure {
+                    shard,
+                    error,
+                    positions,
+                });
+            }
+        }
+        out
+    }
+
     async fn dispatch(&self, req: Request) -> RpcResult<Response> {
         match req {
             Request::Put { obj, data } => {
@@ -228,64 +310,56 @@ impl RpcClient for ShardedClient {
     }
 
     fn call_batch(&self, reqs: Vec<Request>) -> RpcBatchFuture<'_> {
-        Box::pin(async move {
-            // Partition the batch by owning shard (preserving each
-            // shard's sub-order) so per-shard doorbell batching and
-            // coalesced flushes still apply, then restore request order.
-            let mut per_shard: Vec<Vec<(usize, Request)>> =
-                (0..self.map.shards()).map(|_| Vec::new()).collect();
-            for (pos, req) in reqs.into_iter().enumerate() {
-                let routed = match req {
-                    Request::Put { obj, data } => {
-                        let (shard, local) = self.map.route(obj);
-                        (shard, Request::Put { obj: local, data })
-                    }
-                    Request::Get { obj, len } => {
-                        let (shard, local) = self.map.route(obj);
-                        (shard, Request::Get { obj: local, len })
-                    }
-                    // Scans split across shards; route through `call`.
-                    scan @ Request::Scan { .. } => {
-                        let shard = self.map.shard_of(match scan {
-                            Request::Scan { start, .. } => start,
-                            _ => unreachable!(),
-                        });
-                        (shard, scan)
-                    }
-                };
-                per_shard[routed.0].push((pos, routed.1));
-            }
-            let mut out: Vec<Option<Response>> = (0..per_shard.iter().map(Vec::len).sum())
-                .map(|_| None)
-                .collect();
-            for (shard, items) in per_shard.into_iter().enumerate() {
-                if items.is_empty() {
-                    continue;
-                }
-                let (positions, sub): (Vec<usize>, Vec<Request>) = items.into_iter().unzip();
-                let resps = if sub.iter().any(|r| matches!(r, Request::Scan { .. })) {
-                    // Mixed batches with scans take the per-call path.
-                    let mut rs = Vec::with_capacity(sub.len());
-                    for r in sub {
-                        rs.push(self.dispatch(r).await?);
-                    }
-                    rs
-                } else {
-                    self.shards[shard].call_batch(sub).await?
-                };
-                for (pos, resp) in positions.into_iter().zip(resps) {
-                    out[pos] = Some(resp);
-                }
-            }
-            Ok(out
-                .into_iter()
-                .map(|r| r.expect("every batched request answered"))
-                .collect())
-        })
+        Box::pin(async move { self.call_batch_outcomes(reqs).await.into_result() })
     }
 
     fn name(&self) -> &'static str {
         self.shards[0].name()
+    }
+}
+
+/// One shard's failure within a batched call: which shard, the error,
+/// and the request positions it covers. The other shards' completed
+/// responses live on in [`ShardBatchOutcome::responses`].
+#[derive(Debug, Clone)]
+pub struct ShardFailure {
+    /// The shard whose sub-batch (or scan) failed.
+    pub shard: usize,
+    /// The first error that shard produced.
+    pub error: RpcError,
+    /// Original batch positions left unanswered by this failure, sorted.
+    pub positions: Vec<usize>,
+}
+
+/// Structured result of [`ShardedClient::call_batch_outcomes`]:
+/// per-position responses (`None` exactly at failed positions) plus one
+/// [`ShardFailure`] per shard that errored.
+#[derive(Debug)]
+pub struct ShardBatchOutcome {
+    /// Response per original request position; `None` where a failure
+    /// left the request unanswered.
+    pub responses: Vec<Option<Response>>,
+    /// One entry per shard that failed, in shard order.
+    pub failures: Vec<ShardFailure>,
+}
+
+impl ShardBatchOutcome {
+    /// `true` when every request was answered.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Collapse into the legacy all-or-nothing result: the complete
+    /// response vector, or the first shard failure's error.
+    pub fn into_result(self) -> RpcResult<Vec<Response>> {
+        if let Some(f) = self.failures.into_iter().next() {
+            return Err(f.error);
+        }
+        Ok(self
+            .responses
+            .into_iter()
+            .map(|r| r.expect("outcome with no failures has every response"))
+            .collect())
     }
 }
 

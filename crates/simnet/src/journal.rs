@@ -197,6 +197,27 @@ pub enum EventKind {
     /// DRAM mirror region (`wr_id` = lease key id, `bytes` = the epoch
     /// read back from the mirror slot header). Checked by invariant I5.
     MirrorRead,
+    /// One participant shard's durable `prepare` record was appended and
+    /// flush-ACKed for a multi-shard transaction (`rpc_id` = txn id,
+    /// `wr_id` = the participant's shard index). Checked by invariant I6.
+    TxnPrepare,
+    /// The coordinator shard's durable `decided` record was appended and
+    /// flush-ACKed (`rpc_id` = txn id, `wr_id` = the coordinator's shard
+    /// index, `bytes` = 1 for commit / 0 for abort). Checked by I6.
+    TxnDecide,
+    /// A transaction acknowledged committed to the caller (`rpc_id` =
+    /// txn id, `wr_id` = participant count the ACK claims prepares for).
+    /// Invariant I6: preceded by `TxnPrepare` on that many distinct
+    /// shards plus a `TxnDecide`.
+    TxnAck,
+    /// A participant applied a committed transaction's staged writes to
+    /// its object store (`rpc_id` = txn id, `wr_id` = shard/node,
+    /// `bytes` = bytes applied). Invariant I6: never emitted for a txn
+    /// that also journals a `TxnAbort`.
+    TxnApply,
+    /// A transaction aborted before deciding commit (`rpc_id` = txn id,
+    /// `wr_id` = prepares appended before the abort). Checked by I6.
+    TxnAbort,
 }
 
 impl EventKind {
@@ -236,6 +257,11 @@ impl EventKind {
             EventKind::LeaseInvalidate => "lease_invalidate",
             EventKind::CacheRead => "cache_read",
             EventKind::MirrorRead => "mirror_read",
+            EventKind::TxnPrepare => "txn_prepare",
+            EventKind::TxnDecide => "txn_decide",
+            EventKind::TxnAck => "txn_ack",
+            EventKind::TxnApply => "txn_apply",
+            EventKind::TxnAbort => "txn_abort",
         }
     }
 }
@@ -627,6 +653,8 @@ pub struct AuditReport {
     pub lease_invalidations: usize,
     /// Cached / mirror reads checked for lease coverage (invariant 5).
     pub cached_reads: usize,
+    /// Transaction ACKs checked for prepare/decide coverage (invariant 6).
+    pub txn_acks: usize,
     /// Human-readable invariant violations (empty ⇒ audit passed).
     pub violations: Vec<String>,
 }
@@ -652,7 +680,7 @@ impl fmt::Display for AuditReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "audit: {} records, {} flush barriers, {} rpcs, {} recoveries, {} repl acks, {} lease invalidations, {} cached reads — {}",
+            "audit: {} records, {} flush barriers, {} rpcs, {} recoveries, {} repl acks, {} lease invalidations, {} cached reads, {} txn acks — {}",
             self.records,
             self.flush_acks,
             self.rpcs_checked,
@@ -660,6 +688,7 @@ impl fmt::Display for AuditReport {
             self.repl_acks,
             self.lease_invalidations,
             self.cached_reads,
+            self.txn_acks,
             if self.ok() {
                 "PASS".to_string()
             } else {
@@ -699,6 +728,15 @@ impl fmt::Display for AuditReport {
 ///    moved the key past `e` may strictly precede the read — together: a
 ///    cached read can never return bytes newer than the last
 ///    flush-ACKed put, nor serve a lease revoked by one.
+/// 6. **Transaction atomicity** — a `TxnAck` claiming `n` participants
+///    (`wr_id = n`) must be preceded by `TxnPrepare` records for the
+///    same txn id on at least `n` distinct shards *and* by the
+///    coordinator's `TxnDecide` (no txn ACK before every participant's
+///    prepare append and the decided append); and no txn that journals
+///    a `TxnAbort` may ever journal a `TxnApply` (aborted transactions
+///    apply nowhere). A `TxnAck` also stands in for `RpcComplete` in
+///    invariant 5a: the lease bumps a committing txn performs for its
+///    write set must precede the txn's ACK.
 pub fn audit(records: &[Record]) -> AuditReport {
     let mut rep = AuditReport {
         records: records.len(),
@@ -860,10 +898,12 @@ pub fn audit(records: &[Record]) -> AuditReport {
         }
     }
 
-    // --- Invariant 5a: a lease invalidation precedes its put's ACK.
+    // --- Invariant 5a: a lease invalidation precedes its put's ACK. A
+    // committing transaction's write-set bumps carry the txn id, so a
+    // TxnAck stands in for RpcComplete as the durability ACK.
     let mut complete_ts_by_rpc: BTreeMap<u64, u64> = BTreeMap::new();
     for r in records {
-        if r.kind == EventKind::RpcComplete && r.rpc_id != NO_ID {
+        if matches!(r.kind, EventKind::RpcComplete | EventKind::TxnAck) && r.rpc_id != NO_ID {
             complete_ts_by_rpc.entry(r.rpc_id).or_insert(r.ts_ns);
         }
     }
@@ -939,6 +979,59 @@ pub fn audit(records: &[Record]) -> AuditReport {
                     break;
                 }
             }
+        }
+    }
+
+    // --- Invariant 6: a TxnAck claiming n participants must be covered
+    // by TxnPrepare records on ≥ n distinct shards and by a TxnDecide,
+    // all at-or-before the ACK; and no aborted txn may apply anywhere.
+    for r in records {
+        if r.kind != EventKind::TxnAck || r.rpc_id == NO_ID {
+            continue;
+        }
+        rep.txn_acks += 1;
+        let claimed = r.wr_id as usize;
+        let shards: BTreeSet<u64> = records
+            .iter()
+            .filter(|a| {
+                a.kind == EventKind::TxnPrepare
+                    && a.rpc_id == r.rpc_id
+                    && (a.ts_ns, a.node, a.seq) <= (r.ts_ns, r.node, r.seq)
+            })
+            .map(|a| a.wr_id)
+            .collect();
+        if shards.len() < claimed {
+            rep.violations.push(format!(
+                "txn {:#x}: ACK at {} ns claims {} participants but only {} distinct shards' prepare appends precede it",
+                r.rpc_id,
+                r.ts_ns,
+                claimed,
+                shards.len()
+            ));
+        }
+        let decided = records.iter().any(|a| {
+            a.kind == EventKind::TxnDecide
+                && a.rpc_id == r.rpc_id
+                && (a.ts_ns, a.node, a.seq) <= (r.ts_ns, r.node, r.seq)
+        });
+        if !decided {
+            rep.violations.push(format!(
+                "txn {:#x}: ACK at {} ns precedes the coordinator's decided append",
+                r.rpc_id, r.ts_ns
+            ));
+        }
+    }
+    let aborted_txns: BTreeSet<u64> = records
+        .iter()
+        .filter(|r| r.kind == EventKind::TxnAbort && r.rpc_id != NO_ID)
+        .map(|r| r.rpc_id)
+        .collect();
+    for r in records {
+        if r.kind == EventKind::TxnApply && aborted_txns.contains(&r.rpc_id) {
+            rep.violations.push(format!(
+                "txn {:#x}: aborted yet applied staged writes on node {} at {} ns",
+                r.rpc_id, r.node, r.ts_ns
+            ));
         }
     }
 

@@ -13,6 +13,8 @@
 //! * [`openloop`] — open-loop load generation: Poisson/bursty arrival
 //!   schedules over a 10⁴–10⁶ logical-client pool multiplexed onto
 //!   bounded endpoint futures, latency from scheduled arrival.
+//! * [`txn_mix`] — YCSB-T-style transactional mix over the durable 2PC
+//!   transaction layer (commit latency + abort rate under skew).
 //! * [`dist`] — zipfian / latest / uniform key distributions.
 
 #![warn(missing_docs)]
@@ -24,6 +26,7 @@ pub mod kv;
 pub mod micro;
 pub mod openloop;
 pub mod pagerank;
+pub mod txn_mix;
 pub mod ycsb;
 
 pub use dist::{KeyDist, Zipfian};
@@ -38,4 +41,5 @@ pub use openloop::{
     SkewShift,
 };
 pub use pagerank::{run_pagerank, PageRankConfig, PageRankResult};
+pub use txn_mix::{run_txn_mix, TxnMixConfig, TxnMixResult};
 pub use ycsb::{run_ycsb, YcsbConfig, YcsbWorkload};

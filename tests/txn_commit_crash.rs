@@ -1,0 +1,315 @@
+//! Crash-during-commit tests for durable multi-shard transactions
+//! (ISSUE 10): kill the coordinator shard's server after k of n
+//! prepares, kill a participant after the decided append, and crash a
+//! participant during apply under a fault plan — for all four durable
+//! kinds. In every case the in-doubt transaction must resolve from the
+//! PM logs alone (the participant's replay consults the coordinator's
+//! decided record; the client never retransmits data), journals must be
+//! byte-deterministic per seed, and the auditor's invariant I6 must
+//! sign off.
+
+use std::rc::Rc;
+
+use prdma_suite::core::txn::{build_sharded_txn, ShardedTxn, TxnOutcome, TxnPhase};
+use prdma_suite::core::{DurableConfig, DurableKind, RetryPolicy, ServerProfile, ShardMap};
+use prdma_suite::node::{Cluster, ClusterConfig};
+use prdma_suite::rnic::Payload;
+use prdma_suite::simnet::fault::{FaultKind, FaultPlan};
+use prdma_suite::simnet::{journal, Sim, SimDuration, SimTime};
+
+const VAL: usize = 64;
+
+fn retry(max_retries: u32) -> RetryPolicy {
+    RetryPolicy {
+        request_timeout: SimDuration::from_micros(300),
+        max_retries,
+        // Flat schedule: these tests pin journal bytes per seed.
+        backoff: SimDuration::from_micros(100),
+        backoff_cap: SimDuration::from_micros(100),
+        jitter_pct: 0,
+    }
+}
+
+/// Two shards (server nodes 0 and 1), one client (node 2), journal on.
+/// Heavy profile: 100 µs decoupled processing, so crashes reliably land
+/// between a record's flush ACK and its processing.
+fn txn_cluster(sim: &Sim, kind: DurableKind, max_retries: u32) -> (Cluster, ShardedTxn) {
+    let mut ccfg = ClusterConfig::with_servers(2, 1);
+    ccfg.journal = true;
+    let cluster = Cluster::new(sim.handle(), ccfg);
+    let cfg = DurableConfig {
+        profile: ServerProfile::heavy(),
+        slot_payload: 1024,
+        object_slot: 1024,
+        store_capacity: 1 << 20,
+        log_slots: 64,
+        retry: retry(max_retries),
+        ..DurableConfig::for_kind(kind)
+    };
+    let svc = build_sharded_txn(&cluster, ShardMap::new(2), &[2], &cfg);
+    (cluster, svc)
+}
+
+/// Participant killed right after the decided append persisted, before
+/// it processed its prepare: the commit record retries exhaust against
+/// the dead node (3 retries), so when the node restarts, the *only*
+/// resolution path is the replay consulting the coordinator's decided
+/// record through a log-ring scan — no client retransmit, no in-band
+/// record. Returns the journal for byte-determinism comparison.
+fn decided_crash_run(kind: DurableKind) -> String {
+    let mut sim = Sim::new(0x27C2 ^ kind as u64);
+    let (cluster, mut svc) = txn_cluster(&sim, kind, 3);
+    let client = svc.clients.remove(0);
+    let participant = cluster.node(1).clone();
+    {
+        let p = participant.clone();
+        client.set_phase_hook(move |ph| {
+            if ph == TxnPhase::AfterDecide {
+                p.crash();
+            }
+        });
+    }
+    let h = sim.handle();
+    sim.block_on(async move {
+        let mut t = client.begin();
+        t.put(0, &Payload::from_bytes(vec![0xA5; VAL])); // shard 0 (coordinator)
+        t.put(1, &Payload::from_bytes(vec![0x5A; VAL])); // shard 1 (crashes)
+        let out = client.commit(t).await.expect("decide append had ACKed");
+        assert_eq!(out, TxnOutcome::Committed, "{kind:?}");
+        // Let the background commit-record retries exhaust against the
+        // dead participant. The client does nothing else ever again.
+        h.sleep(SimDuration::from_millis(3)).await;
+    });
+    participant.restart();
+    let scans_before = svc.directory().scan_resolved();
+    let replayed = svc.recover_shard(1);
+    assert!(replayed > 0, "{kind:?}: replay found no pending entries");
+    sim.run();
+    // The staged prepare resolved from the logs alone: the decided
+    // record was found by scanning the coordinator's ring.
+    assert!(
+        svc.directory().scan_resolved() > scans_before,
+        "{kind:?}: resolution did not come from a log scan"
+    );
+    assert_eq!(svc.in_doubt(1), 0, "{kind:?}");
+    assert_eq!(svc.states[1].applied_txns(), 1, "{kind:?}");
+    assert_eq!(
+        svc.servers[1][0].store().persistent_bytes(0, VAL as u64),
+        vec![0x5A; VAL],
+        "{kind:?}: committed write must be applied on the recovered shard"
+    );
+    assert_eq!(
+        svc.servers[0][0].store().persistent_bytes(0, VAL as u64),
+        vec![0xA5; VAL],
+        "{kind:?}: coordinator shard applies too"
+    );
+    cluster.audit_journal().assert_ok();
+    journal::to_jsonl(&cluster.journal_records())
+}
+
+#[test]
+fn decided_txn_resolves_on_participant_from_logs_alone() {
+    for kind in DurableKind::ALL {
+        let a = decided_crash_run(kind);
+        let b = decided_crash_run(kind);
+        assert_eq!(a, b, "{kind:?}: journals must be byte-deterministic");
+    }
+}
+
+/// Coordinator shard's server killed after both prepares ACKed but
+/// before the decided append: the decide retries ride out the outage,
+/// the restarted coordinator replays its prepare into an in-doubt stage
+/// (no decided record yet — it must NOT presume abort), and the late
+/// decide then resolves everything.
+#[test]
+fn coordinator_crash_after_prepares_rides_out_and_commits() {
+    for kind in DurableKind::ALL {
+        let mut sim = Sim::new(0xC0DE ^ kind as u64);
+        let (cluster, mut svc) = txn_cluster(&sim, kind, 200);
+        let client = svc.clients.remove(0);
+        let svc = Rc::new(svc);
+        let coordinator = cluster.node(0).clone();
+        {
+            let c = coordinator.clone();
+            client.set_phase_hook(move |ph| {
+                if ph == TxnPhase::AfterPrepare(2) {
+                    c.crash();
+                }
+            });
+        }
+        let h = sim.handle();
+        sim.block_on({
+            let svc = Rc::clone(&svc);
+            let h = h.clone();
+            async move {
+                let commit = h.spawn(async move {
+                    let mut t = client.begin();
+                    t.put(0, &Payload::from_bytes(vec![0x11; VAL]));
+                    t.put(1, &Payload::from_bytes(vec![0x22; VAL]));
+                    client.commit(t).await
+                });
+                // Restart the coordinator mid-2PC and replay its logs;
+                // its own prepare stages in doubt (no decided record).
+                h.sleep(SimDuration::from_millis(1)).await;
+                coordinator.restart();
+                let replayed = svc.recover_shard(0);
+                assert!(replayed > 0, "{kind:?}");
+                let out = commit.await.expect("decide retries ride out the outage");
+                assert_eq!(out, TxnOutcome::Committed, "{kind:?}");
+                h.sleep(SimDuration::from_millis(5)).await;
+            }
+        });
+        sim.run();
+        for shard in 0..2usize {
+            assert_eq!(svc.in_doubt(shard), 0, "{kind:?} shard {shard}");
+            assert_eq!(
+                svc.states[shard].applied_txns(),
+                1,
+                "{kind:?} shard {shard}"
+            );
+            assert_eq!(
+                svc.servers[shard][0]
+                    .store()
+                    .persistent_bytes(0, VAL as u64),
+                vec![0x11 * (shard as u8 + 1); VAL],
+                "{kind:?} shard {shard}"
+            );
+        }
+        cluster.audit_journal().assert_ok();
+    }
+}
+
+/// Coordinator down past the decide retries: commit() surfaces the
+/// indeterminate error, both prepares stay staged and locked — in doubt
+/// — and replay keeps them that way (presumed-nothing: no decided
+/// record means no unilateral abort). A later conflicting transaction
+/// aborts on the held locks; nothing ever applies.
+#[test]
+fn undecided_txn_stays_in_doubt_and_holds_locks() {
+    for kind in DurableKind::ALL {
+        let mut sim = Sim::new(0xD0BB ^ kind as u64);
+        let (cluster, mut svc) = txn_cluster(&sim, kind, 3);
+        let client = svc.clients.remove(0);
+        let coordinator = cluster.node(0).clone();
+        {
+            let c = coordinator.clone();
+            client.set_phase_hook(move |ph| {
+                if ph == TxnPhase::AfterPrepare(2) {
+                    c.crash();
+                }
+            });
+        }
+        let h = sim.handle();
+        let txn_id = sim.block_on(async move {
+            let mut t = client.begin();
+            let id = t.id();
+            t.put(0, &Payload::from_bytes(vec![0x77; VAL]));
+            t.put(1, &Payload::from_bytes(vec![0x88; VAL]));
+            assert!(
+                client.commit(t).await.is_err(),
+                "{kind:?}: decide against a dead coordinator must surface an error"
+            );
+            // A second transaction on the same keys hits the held locks.
+            client.set_phase_hook(|_| {});
+            let mut t2 = client.begin();
+            t2.put(0, &Payload::from_bytes(vec![0x99; VAL]));
+            let out = t2.id();
+            assert_ne!(out, id);
+            assert!(matches!(
+                client.commit(t2).await.unwrap(),
+                TxnOutcome::Aborted(_)
+            ));
+            h.sleep(SimDuration::from_millis(1)).await;
+            id
+        });
+        coordinator.restart();
+        svc.recover_shard(0);
+        svc.recover_shard(1);
+        sim.run();
+        // Still in doubt everywhere: staged, locked, nothing applied.
+        for shard in 0..2usize {
+            assert_eq!(svc.in_doubt(shard), 1, "{kind:?} shard {shard}");
+            assert_eq!(
+                svc.states[shard].applied_txns(),
+                0,
+                "{kind:?} shard {shard}"
+            );
+            assert_eq!(svc.states[shard].lock_owner(0), Some(txn_id), "{kind:?}");
+        }
+        cluster.audit_journal().assert_ok();
+    }
+}
+
+/// A fault-plan crash lands on a participant mid-stream (including
+/// during apply), with recovery wired through the injector: every
+/// transaction the client saw commit must be applied on both shards,
+/// and nothing stays in doubt once the dust settles.
+#[test]
+fn participant_crash_under_fault_plan_loses_no_committed_txn() {
+    for kind in DurableKind::ALL {
+        let mut sim = Sim::new(0xFA17 ^ kind as u64);
+        let (cluster, mut svc) = txn_cluster(&sim, kind, 200);
+        let client = svc.clients.remove(0);
+        let svc = Rc::new(svc);
+        let plan = FaultPlan::new().at(
+            SimTime::from_nanos(30_000),
+            1,
+            FaultKind::NodeCrash {
+                down_for: SimDuration::from_micros(500),
+            },
+        );
+        let inj = cluster.inject_faults(plan);
+        svc.wire_recovery(&inj);
+        let h = sim.handle();
+        let committed = sim.block_on({
+            let h = h.clone();
+            async move {
+                let mut committed = 0u64;
+                // Distinct keys per txn (striped map: 2i → shard 0 local
+                // i, 2i+1 → shard 1 local i): lock release is decoupled
+                // (commit-record processing), so same-key back-to-back
+                // txns would self-conflict by design.
+                for i in 0..12u64 {
+                    let mut t = client.begin();
+                    t.put(2 * i, &Payload::from_bytes(vec![0x30 + i as u8; VAL]));
+                    t.put(2 * i + 1, &Payload::from_bytes(vec![0x50 + i as u8; VAL]));
+                    match client.commit(t).await {
+                        Ok(TxnOutcome::Committed) => committed += 1,
+                        Ok(TxnOutcome::Aborted(r)) => {
+                            panic!("{kind:?}: single-client txn {i} aborted: {r:?}")
+                        }
+                        Err(e) => panic!("{kind:?}: txn {i} indeterminate: {e}"),
+                    }
+                    h.sleep(SimDuration::from_micros(20)).await;
+                }
+                // Drain decoupled processing, replays included.
+                h.sleep(SimDuration::from_millis(5)).await;
+                committed
+            }
+        });
+        assert_eq!(inj.stats().node_crashes, 1, "{kind:?}");
+        assert_eq!(committed, 12, "{kind:?}: retries must ride out the outage");
+        for shard in 0..2usize {
+            assert_eq!(svc.in_doubt(shard), 0, "{kind:?} shard {shard}");
+            assert_eq!(
+                svc.states[shard].applied_txns(),
+                12,
+                "{kind:?} shard {shard}"
+            );
+        }
+        // Every committed txn's bytes are in the owning shard's PM.
+        for i in 0..12u64 {
+            assert_eq!(
+                svc.servers[0][0].store().persistent_bytes(i, VAL as u64),
+                vec![0x30 + i as u8; VAL],
+                "{kind:?} txn {i} shard 0"
+            );
+            assert_eq!(
+                svc.servers[1][0].store().persistent_bytes(i, VAL as u64),
+                vec![0x50 + i as u8; VAL],
+                "{kind:?} txn {i} shard 1"
+            );
+        }
+        cluster.audit_journal().assert_ok();
+    }
+}
